@@ -1,0 +1,47 @@
+"""Section 5.3/5.4 ablation: common-computation-reuse (caching) on `stu`.
+
+Paper: on Dask at 12.6 GB, LaFP runs `stu` 13x faster than baseline with
+caching on, only 1.4x with caching off; caching costs 2.3x memory.  We
+assert the ordering (caching speeds up `stu` substantially and costs
+memory) rather than the absolute factors.
+"""
+
+from conftest import print_table
+
+
+def test_ablation_caching_on_stu(runner, benchmark):
+    def run_three():
+        baseline = runner.run("stu", "dask", "M")
+        cached = runner.run("stu", "lafp_dask", "M")
+        uncached = runner.run(
+            "stu", "lafp_dask", "M", flag_overrides={"caching": False}
+        )
+        return baseline, cached, uncached
+
+    baseline, cached, uncached = benchmark.pedantic(
+        run_three, rounds=1, iterations=1
+    )
+    assert baseline.ok and cached.ok and uncached.ok
+
+    speedup_cached = baseline.seconds / cached.seconds
+    speedup_uncached = baseline.seconds / uncached.seconds
+    memory_ratio = cached.peak_bytes / max(1, uncached.peak_bytes)
+
+    print_table(
+        "Ablation: caching on `stu` (Dask backend, size M)",
+        ["config", "seconds", "peak MB", "speedup vs dask"],
+        [
+            ["dask baseline", f"{baseline.seconds:.3f}",
+             f"{baseline.peak_bytes / 1e6:.2f}", "1.00"],
+            ["LaFP cached", f"{cached.seconds:.3f}",
+             f"{cached.peak_bytes / 1e6:.2f}", f"{speedup_cached:.2f}"],
+            ["LaFP no-cache", f"{uncached.seconds:.3f}",
+             f"{uncached.peak_bytes / 1e6:.2f}", f"{speedup_uncached:.2f}"],
+        ],
+    )
+
+    # the paper's ordering: cached LaFP is the fastest configuration,
+    assert cached.seconds < uncached.seconds
+    assert cached.seconds < baseline.seconds
+    # and caching is what buys the big factor (13x vs 1.4x in the paper)
+    assert speedup_cached > 1.3 * speedup_uncached

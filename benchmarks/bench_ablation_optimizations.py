@@ -1,0 +1,74 @@
+"""Per-optimization ablation (beyond the paper's single `stu` ablation).
+
+DESIGN.md calls for ablating each design choice: this bench disables one
+runtime optimization at a time on the program that showcases it and
+reports the cost.  Static column selection is ablated separately via the
+rewrite flags.
+"""
+
+from conftest import print_table
+
+from repro.analysis.rewrite import RewriteFlags, optimize_program
+from repro.workloads.programs import PROGRAMS
+from repro.workloads.runner import _HEADERS
+
+ABLATIONS = [
+    # (program, flag to disable, backend mode whose showcase it is)
+    ("cty", "caching", "lafp_dask"),
+    ("ais", "predicate_pushdown", "lafp_pandas"),
+    ("fdb", "caching", "lafp_dask"),
+    ("nyt", "projection_pushdown", "lafp_dask"),
+]
+
+
+def test_runtime_optimization_ablations(runner, benchmark):
+    def run_all():
+        out = {}
+        for program, flag, mode in ABLATIONS:
+            on = runner.run(program, mode, "M")
+            off = runner.run(program, mode, "M", flag_overrides={flag: False})
+            out[(program, flag)] = (on, off)
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for (program, flag), (on, off) in results.items():
+        rows.append(
+            [
+                program,
+                flag,
+                f"{on.seconds:.3f}" if on.ok else "FAIL",
+                f"{off.seconds:.3f}" if off.ok else "FAIL",
+                f"{on.peak_bytes / 1e6:.2f}",
+                f"{off.peak_bytes / 1e6:.2f}",
+            ]
+        )
+    print_table(
+        "Runtime-optimization ablations (size M)",
+        ["prog", "flag off", "t(on) s", "t(off) s", "mem(on) MB", "mem(off) MB"],
+        rows,
+    )
+
+    for (program, flag), (on, off) in results.items():
+        assert on.ok, f"{program} with {flag} on failed: {on.error}"
+        # disabling an optimization never *helps* time beyond noise
+        if off.ok:
+            assert on.seconds <= off.seconds * 1.25, (program, flag)
+
+
+def test_static_column_selection_ablation(benchmark):
+    """Column selection is the single biggest lever (section 5.3)."""
+
+    def rewrite_both():
+        spec = PROGRAMS["nyt"]
+        source = _HEADERS["lafp_dask"] + spec.body
+        with_cs, _ = optimize_program(source)
+        without_cs, _ = optimize_program(
+            source, RewriteFlags(column_selection=False)
+        )
+        return with_cs, without_cs
+
+    with_cs, without_cs = benchmark.pedantic(rewrite_both, rounds=1, iterations=1)
+    assert "usecols=" in with_cs
+    assert "usecols=" not in without_cs

@@ -1,0 +1,71 @@
+"""Figure 14 (a/b/c): % reduction in execution time, LaFP vs baseline.
+
+For each backend B and program P: ``100 * (1 - t_LaFP / t_B)``; when the
+baseline failed (OOM) the paper treats its time as infinity -> 100 %.
+The paper reports up to ~70 % on pandas, ~90 % on Modin and ~95 % on
+Dask at the largest size, with rare small regressions (worst -20 %).
+"""
+
+from conftest import print_table
+
+from repro.workloads.programs import PROGRAMS
+from repro.workloads.runner import Runner
+
+PAIRS = [("pandas", "lafp_pandas"), ("modin", "lafp_modin"), ("dask", "lafp_dask")]
+
+
+def improvement(base, opt):
+    """% reduction, with the paper's infinity convention for failures."""
+    if base is None and opt is None:
+        return None  # neither ran: no data point
+    if base is None:
+        return 100.0  # baseline OOM, LaFP ran
+    if opt is None:
+        return -100.0  # LaFP failed where the baseline ran (never expected)
+    return 100.0 * (1.0 - opt / base)
+
+
+def collect(runner: Runner, size: str):
+    table = {}
+    for program in sorted(PROGRAMS):
+        for base_mode, lafp_mode in PAIRS:
+            base = runner.run(program, base_mode, size)
+            opt = runner.run(program, lafp_mode, size)
+            table[(program, base_mode)] = improvement(
+                base.seconds if base.ok else None,
+                opt.seconds if opt.ok else None,
+            )
+    return table
+
+
+def test_fig14_time_improvement(runner, benchmark):
+    results = benchmark.pedantic(
+        lambda: {size: collect(runner, size) for size in ("S", "M", "L")},
+        rounds=1,
+        iterations=1,
+    )
+
+    for size in ("S", "M", "L"):
+        rows = []
+        for program in sorted(PROGRAMS):
+            row = [program]
+            for base_mode, _ in PAIRS:
+                value = results[size][(program, base_mode)]
+                row.append("n/a" if value is None else f"{value:5.1f}")
+            rows.append(row)
+        print_table(
+            f"Figure 14: % time reduction, size {size}",
+            ["prog", "vs pandas", "vs modin", "vs dask"],
+            rows,
+        )
+
+    # Shape assertions at L (the paper's headline size):
+    at_l = results["L"]
+    values = [v for v in at_l.values() if v is not None]
+    # many 100% entries: baselines that OOM'd while LaFP ran
+    assert sum(1 for v in values if v == 100.0) >= 5
+    # LaFP never loses badly anywhere (paper worst case -20%)
+    assert min(values) > -100.0
+    # median improvement is positive
+    ordered = sorted(values)
+    assert ordered[len(ordered) // 2] > 0

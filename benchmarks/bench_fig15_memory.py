@@ -1,0 +1,73 @@
+"""Figure 15 (a/b/c): % reduction in peak memory, LaFP vs baseline.
+
+Paper: >95 % reductions where column selection bites on pandas, up to
+60 % on Modin and 70 % on Dask; *negative* values where caching trades
+memory for speed (the `stu` program persisting shared subexpressions
+costs 2.3x memory while buying 13x time -- section 5.4).
+"""
+
+from conftest import print_table
+
+from repro.workloads.programs import PROGRAMS
+
+PAIRS = [("pandas", "lafp_pandas"), ("modin", "lafp_modin"), ("dask", "lafp_dask")]
+
+
+def improvement(base, opt):
+    if base is None and opt is None:
+        return None
+    if base is None:
+        return 100.0
+    if opt is None:
+        return -100.0
+    if base == 0:
+        return 0.0
+    return 100.0 * (1.0 - opt / base)
+
+
+def test_fig15_memory_reduction(runner, benchmark):
+    def collect():
+        out = {}
+        for size in ("S", "M", "L"):
+            for program in sorted(PROGRAMS):
+                for base_mode, lafp_mode in PAIRS:
+                    base = runner.run(program, base_mode, size)
+                    opt = runner.run(program, lafp_mode, size)
+                    out[(size, program, base_mode)] = improvement(
+                        base.peak_bytes if base.ok else None,
+                        opt.peak_bytes if opt.ok else None,
+                    )
+        return out
+
+    results = benchmark.pedantic(collect, rounds=1, iterations=1)
+
+    for size in ("S", "M", "L"):
+        rows = []
+        for program in sorted(PROGRAMS):
+            row = [program]
+            for base_mode, _ in PAIRS:
+                value = results[(size, program, base_mode)]
+                row.append("n/a" if value is None else f"{value:5.1f}")
+            rows.append(row)
+        print_table(
+            f"Figure 15: % peak-memory reduction, size {size}",
+            ["prog", "vs pandas", "vs modin", "vs dask"],
+            rows,
+        )
+
+    # Shape assertions:
+    # column selection slashes pandas memory on the wide-table programs
+    assert results[("S", "nyt", "pandas")] > 50.0
+    assert results[("S", "ais", "pandas")] > 50.0
+    # merges keep their inputs fully live (conservative LAA), so `mov`
+    # improves only modestly -- but never regresses
+    assert results[("S", "mov", "pandas")] > -20.0
+    # caching programs may trade memory for time on the lazy backend
+    # (negative improvement is allowed and expected for stu/cty on dask)
+    stu_dask = results[("S", "stu", "dask")]
+    assert stu_dask is not None  # measured, sign depends on spilling
+    # at L, every baseline OOM shows as a 100% improvement
+    l_values = [
+        v for (size, _, _), v in results.items() if size == "L" and v is not None
+    ]
+    assert sum(1 for v in l_values if v == 100.0) >= 5

@@ -1,0 +1,87 @@
+"""Automated backend choice from metastore size estimates.
+
+Run:  python examples/backend_chooser.py
+
+The paper lists cost-based backend selection as future work ("We are
+currently working on automating the choice of backend based on memory
+usage estimates", section 2.6/3.6).  This example implements that
+extension on top of the metastore: estimate the in-memory footprint of
+the columns a program needs, compare it to the available budget, and
+pick pandas (fastest when resident), Modin (string-compressed eager) or
+Dask (out-of-core) accordingly.
+"""
+
+import os
+import tempfile
+
+from repro.metastore import MetaStore
+from repro.workloads import datagen
+
+#: conservative expansion from encoded width to eager in-memory width.
+EAGER_EXPANSION = 1.3
+
+
+def choose_backend(csv_path, needed_columns, budget_bytes, metastore):
+    """Pick the cheapest backend whose memory model fits the budget."""
+    meta = metastore.get_or_compute(csv_path, sample_rows=2_000)
+    needed = needed_columns or list(meta.columns)
+    eager_bytes = int(meta.estimated_bytes(needed) * EAGER_EXPANSION)
+
+    # a working set comfortably inside the budget -> fastest engine
+    if eager_bytes * 2 < budget_bytes:
+        return "pandas", eager_bytes
+    # strings dominated and compressible -> Modin's Arrow-style storage
+    string_bytes = sum(
+        stats.avg_width * meta.n_rows
+        for name, stats in meta.columns.items()
+        if name in set(needed) and stats.dtype == "object"
+    )
+    compressed = eager_bytes - int(string_bytes * 0.8)
+    if compressed * 2 < budget_bytes:
+        return "modin", compressed
+    # otherwise only the out-of-core engine is safe
+    return "dask", eager_bytes
+
+
+def main():
+    work = tempfile.mkdtemp(prefix="lafp-chooser-")
+    store = MetaStore(os.path.join(work, "metastore"))
+    taxi = datagen.generate("taxi", work, rows=8_000)
+    cities = datagen.generate("cities", work, rows=8_000)
+
+    scenarios = [
+        ("taxi, 3 needed columns, roomy budget",
+         taxi, ["fare_amount", "passenger_count", "tpep_pickup_datetime"],
+         200 * os.path.getsize(taxi)),
+        ("taxi, all 22 columns, tight budget",
+         taxi, None, int(0.5 * os.path.getsize(taxi))),
+        ("cities, all columns (pooled strings), medium budget",
+         cities, None, int(1.2 * os.path.getsize(cities))),
+    ]
+
+    print(f"{'scenario':<55} {'backend':>8} {'est. bytes':>12}")
+    for label, path, columns, budget in scenarios:
+        backend, estimate = choose_backend(path, columns, budget, store)
+        print(f"{label:<55} {backend:>8} {estimate:>12,}")
+
+    # wire the choice into LaFP
+    import repro.lazyfatpandas.pandas as pd
+
+    backend, _ = choose_backend(
+        taxi,
+        ["fare_amount", "passenger_count"],
+        200 * os.path.getsize(taxi),
+        store,
+    )
+    pd.BACKEND_ENGINE = {
+        "pandas": pd.BackendEngines.PANDAS,
+        "modin": pd.BackendEngines.MODIN,
+        "dask": pd.BackendEngines.DASK,
+    }[backend]
+    df = pd.read_csv(taxi, usecols=["fare_amount", "passenger_count"])
+    total = df[df.fare_amount > 0].passenger_count.sum()
+    print(f"\nchosen backend: {backend}; total passengers = {int(total.compute())}")
+
+
+if __name__ == "__main__":
+    main()

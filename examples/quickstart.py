@@ -1,0 +1,49 @@
+"""Quickstart: the paper's two-line change (Figure 2).
+
+Run:  python examples/quickstart.py
+
+A plain-pandas-style program runs under Lazy Fat Pandas by changing the
+import and calling ``pd.analyze()``.  The JIT analyzer rewrites this very
+file (column selection, lazy print, flush), executes the optimized
+version on the chosen backend, and exits.
+"""
+
+import os
+import tempfile
+
+# --- synthesize a small dataset so the example is self-contained --------
+_work = tempfile.mkdtemp(prefix="lafp-quickstart-")
+_csv = os.path.join(_work, "trips.csv")
+if not os.path.exists(_csv):
+    import numpy as np
+
+    from repro.frame import DataFrame
+
+    _n = 5_000
+    _rng = np.random.default_rng(0)
+    DataFrame(
+        {
+            "pickup_time": np.array(
+                ["2024-06-%02d %02d:00:00" % (i % 28 + 1, i % 24) for i in range(_n)],
+                dtype=object,
+            ),
+            "passengers": _rng.integers(1, 6, _n),
+            "fare": np.round(_rng.normal(16, 9, _n), 2),
+            "note_a": np.array([f"a{i}" for i in range(_n)], dtype=object),
+            "note_b": np.array([f"b{i}" for i in range(_n)], dtype=object),
+        }
+    ).to_csv(_csv)
+
+# --- the user program: plain pandas plus two lines ----------------------
+import repro.lazyfatpandas.pandas as pd  # line 1: the import
+
+pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS
+pd.analyze()  # line 2: hand control to LaFP (Figure 5)
+
+df = pd.read_csv(_csv, parse_dates=["pickup_time"])
+df = df[df.fare > 0]
+df["hour"] = df.pickup_time.dt.hour
+busiest = df.groupby(["hour"])["passengers"].sum()
+print(busiest.head(5))
+avg_fare = df.fare.mean()
+print(f"average fare: {avg_fare}")

@@ -1,0 +1,9 @@
+"""Top-level alias so the paper's verbatim imports work.
+
+``import lazyfatpandas.pandas as pd`` resolves to
+:mod:`repro.lazyfatpandas.pandas`.
+"""
+
+from repro.lazyfatpandas import func, pandas
+
+__all__ = ["func", "pandas"]

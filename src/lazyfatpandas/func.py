@@ -1,0 +1,3 @@
+"""Alias of :mod:`repro.lazyfatpandas.func`."""
+
+from repro.lazyfatpandas.func import len, print  # noqa: A004,F401

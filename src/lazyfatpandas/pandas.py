@@ -1,0 +1,15 @@
+"""Alias of :mod:`repro.lazyfatpandas.pandas` (see Figure 2)."""
+
+from repro.lazyfatpandas.pandas import *  # noqa: F401,F403
+from repro.lazyfatpandas.pandas import (  # explicit for linters
+    BACKEND_ENGINE,
+    BackendEngines,
+    DataFrame,
+    analyze,
+    concat,
+    flush,
+    merge,
+    read_csv,
+    reset,
+    to_datetime,
+)

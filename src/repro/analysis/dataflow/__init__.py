@@ -1,0 +1,34 @@
+"""Dataflow analyses over the SCIRPy CFG (sections 2.3, 3.1, 3.5).
+
+- :mod:`repro.analysis.dataflow.framework` -- generic iterative solver;
+- :mod:`repro.analysis.dataflow.frames` -- the dataframe model: which
+  expressions produce frames/series, which methods preserve columns, and
+  column-use extraction;
+- :mod:`repro.analysis.dataflow.typeinfer` -- forward kind inference
+  (DataFrame / Series / GroupBy / scalar) for program variables;
+- :mod:`repro.analysis.dataflow.liveness` -- classic live variables;
+- :mod:`repro.analysis.dataflow.live_attributes` -- **Live Attribute
+  Analysis** per the paper's equations (1)-(4);
+- :mod:`repro.analysis.dataflow.live_dataframes` -- **Live DataFrame
+  Analysis** (live variables restricted to frame-kinded ones);
+- :mod:`repro.analysis.dataflow.readonly` -- columns never assigned after
+  the read (category-dtype safety, section 3.6).
+"""
+
+from repro.analysis.dataflow.framework import DataflowResult, solve_backward
+from repro.analysis.dataflow.typeinfer import Kind, infer_kinds
+from repro.analysis.dataflow.liveness import live_variables
+from repro.analysis.dataflow.live_attributes import live_attributes
+from repro.analysis.dataflow.live_dataframes import live_dataframes
+from repro.analysis.dataflow.readonly import mutated_columns
+
+__all__ = [
+    "DataflowResult",
+    "Kind",
+    "infer_kinds",
+    "live_attributes",
+    "live_dataframes",
+    "live_variables",
+    "mutated_columns",
+    "solve_backward",
+]

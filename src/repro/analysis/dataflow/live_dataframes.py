@@ -1,0 +1,31 @@
+"""Live DataFrame Analysis (LDA) -- section 3.5.
+
+Live-variable analysis restricted to frame-kinded variables.  Its Out
+sets provide the ``live_df=[...]`` argument the forced-computation
+rewrite passes to ``compute()``, which drives common-computation-reuse
+persistence at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Optional
+
+from repro.analysis.scirpy.cfg import CFG
+from repro.analysis.dataflow.framework import DataflowResult
+from repro.analysis.dataflow.frames import Kind
+from repro.analysis.dataflow.liveness import live_variables
+
+
+def live_dataframes(cfg: CFG, kinds: Dict[str, Kind]) -> DataflowResult:
+    """LVA filtered to DataFrame variables."""
+    lva = live_variables(cfg)
+
+    def restrict(fact: FrozenSet[str]) -> FrozenSet[str]:
+        return frozenset(v for v in fact if kinds.get(v) == Kind.FRAME)
+
+    return DataflowResult(
+        stmt_in={k: restrict(v) for k, v in lva.stmt_in.items()},
+        stmt_out={k: restrict(v) for k, v in lva.stmt_out.items()},
+        block_in={k: restrict(v) for k, v in lva.block_in.items()},
+        block_out={k: restrict(v) for k, v in lva.block_out.items()},
+    )

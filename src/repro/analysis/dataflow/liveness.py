@@ -1,0 +1,66 @@
+"""Classic live-variable analysis (LVA) -- the textbook backward analysis
+LAA extends (section 2.3)."""
+
+from __future__ import annotations
+
+import ast
+from typing import FrozenSet, Set
+
+from repro.analysis.scirpy.cfg import CFG
+from repro.analysis.scirpy.ir import IRStmt, StmtKind
+from repro.analysis.dataflow.framework import DataflowResult, solve_backward
+
+Fact = FrozenSet[str]
+
+
+def live_variables(cfg: CFG) -> DataflowResult:
+    """Solve LVA; facts are plain variable names."""
+
+    def transfer(stmt: IRStmt, out: Fact) -> Fact:
+        gen, kill = stmt_gen_kill(stmt)
+        return frozenset(gen | (set(out) - kill))
+
+    return solve_backward(cfg, transfer)
+
+
+def stmt_gen_kill(stmt: IRStmt):
+    """(used names, defined names) of one IR statement."""
+    node = stmt.node
+    gen: Set[str] = set()
+    kill: Set[str] = set()
+    if node is None or stmt.kind == StmtKind.EXIT:
+        return gen, kill
+    if stmt.kind == StmtKind.BRANCH:
+        gen |= _names(node.test)
+        return gen, kill
+    if stmt.kind == StmtKind.LOOP:
+        if isinstance(node, ast.While):
+            gen |= _names(node.test)
+        else:
+            gen |= _names(node.iter)
+            if isinstance(node.target, ast.Name):
+                kill.add(node.target.id)
+        return gen, kill
+    if isinstance(node, ast.Assign):
+        gen |= _names(node.value)
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                kill.add(target.id)
+            else:
+                # subscript/attribute target also *uses* the base object.
+                gen |= _names(target)
+        return gen, kill
+    if isinstance(node, ast.AugAssign):
+        gen |= _names(node.value)
+        gen |= _names(node.target)
+        return gen, kill
+    gen |= _names(node)
+    return gen, kill
+
+
+def _names(node: ast.AST) -> Set[str]:
+    return {
+        child.id
+        for child in ast.walk(node)
+        if isinstance(child, ast.Name) and isinstance(child.ctx, (ast.Load,))
+    }

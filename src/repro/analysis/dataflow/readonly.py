@@ -1,0 +1,104 @@
+"""Read-only column analysis (section 3.6).
+
+``category`` dtype is only safe for columns that are never assigned after
+being read -- a later ``df["c"] = <new value>`` could introduce a value
+outside the closed category domain.  This analysis computes, per source
+frame variable, the set of columns the program *mutates*, following
+aliases and column-preserving derivations (``df2 = df[...]; df2["c"] = 1``
+taints ``df`` too, since the wrapper cannot know they diverged).
+
+The complement (header minus mutated) is the read-only set the rewriter
+passes to the ``read_csv`` wrapper as ``mutated_cols``; the wrapper
+resolves it against the actual header at run time.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Optional, Set
+
+from repro.analysis.scirpy.cfg import CFG
+from repro.analysis.dataflow.frames import Kind, _const_str, _frame_base_name
+
+
+def mutated_columns(cfg: CFG, kinds: Dict[str, Kind]) -> Dict[str, Set[str]]:
+    """Map each frame variable to the columns assigned anywhere on it
+    (or on any alias / derived frame)."""
+    groups = _alias_groups(cfg, kinds)
+    mutated: Dict[str, Set[str]] = {var: set() for var in groups}
+
+    for stmt in cfg.statements():
+        node = stmt.node
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        column = None
+        frame = None
+        if isinstance(target, ast.Subscript):
+            frame = _frame_base_name(target.value, kinds)
+            column = _const_str(target.slice)
+        elif isinstance(target, ast.Attribute):
+            frame = _frame_base_name(target.value, kinds)
+            column = target.attr
+        if frame is None:
+            continue
+        group = groups.get(frame, {frame})
+        for member in group:
+            bucket = mutated.setdefault(member, set())
+            if column is not None:
+                bucket.add(column)
+            else:
+                bucket.add("*")
+    return mutated
+
+
+def _alias_groups(cfg: CFG, kinds: Dict[str, Kind]) -> Dict[str, Set[str]]:
+    """Union-find of frame variables connected by derivation."""
+    parent: Dict[str, str] = {}
+
+    def find(v: str) -> str:
+        parent.setdefault(v, v)
+        while parent[v] != v:
+            parent[v] = parent[parent[v]]
+            v = parent[v]
+        return v
+
+    def union(a: str, b: str) -> None:
+        ra, rb = find(a), find(b)
+        if ra != rb:
+            parent[ra] = rb
+
+    for var, kind in kinds.items():
+        if kind == Kind.FRAME:
+            find(var)
+
+    for stmt in cfg.statements():
+        node = stmt.node
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not isinstance(target, ast.Name) or kinds.get(target.id) != Kind.FRAME:
+            continue
+        source = _derivation_source(node.value, kinds)
+        if source is not None:
+            union(target.id, source)
+
+    groups: Dict[str, Set[str]] = {}
+    for var, kind in kinds.items():
+        if kind != Kind.FRAME:
+            continue
+        root = find(var)
+        groups.setdefault(root, set()).add(var)
+    return {var: groups[find(var)] for var in parent if kinds.get(var) == Kind.FRAME}
+
+
+def _derivation_source(value: ast.AST, kinds) -> Optional[str]:
+    """The frame variable ``value`` derives from, if recognizable."""
+    frame = _frame_base_name(value, kinds)
+    if frame is not None:
+        return frame
+    if isinstance(value, ast.Subscript):
+        return _frame_base_name(value.value, kinds)
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Attribute):
+        return _frame_base_name(value.func.value, kinds)
+    return None

@@ -1,0 +1,84 @@
+"""Just-in-Time static analysis (section 2.4, Figure 5).
+
+``pd.analyze()``:
+
+1. uses reflection to find the calling program's source file,
+2. rewrites it through the static-analysis pipeline,
+3. executes the optimized program in a fresh module namespace, and
+4. stops the original program (SystemExit(0)) so execution is *replaced*,
+   not duplicated -- "no changes are required to the outer-level systems
+   that invoke the Python programs".
+
+Guards: the optimized namespace carries ``__LAFP_OPTIMIZED__`` so a
+surviving ``analyze()`` call inside it is a no-op; programs whose source
+cannot be found (REPLs, ``exec`` strings) degrade to a no-op with the
+lazy runtime still active, as the paper's conservative stance requires.
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+import warnings
+from typing import Optional
+
+from repro.analysis.rewrite import RewriteFlags, optimize_program
+
+#: wall-clock seconds spent in the most recent analysis+rewrite (the
+#: overhead measurement of section 5.3).
+last_analysis_seconds: float = 0.0
+
+
+def optimize_source(source: str, flags: Optional[RewriteFlags] = None) -> str:
+    """Rewrite a program's source (the testable core of analyze())."""
+    optimized, _report = optimize_program(source, flags)
+    return optimized
+
+
+def jit_analyze(depth: int = 2, run: bool = True) -> Optional[str]:
+    """Implements Figure 5's ``pd.analyze()``.
+
+    ``depth`` is the stack distance to the user's frame (analyze() ->
+    facade -> user).  Returns the optimized source with ``run=False``;
+    otherwise executes it and raises ``SystemExit``.
+    """
+    global last_analysis_seconds
+    frame = sys._getframe(depth)
+    if frame.f_globals.get("__LAFP_OPTIMIZED__"):
+        return None  # we *are* the optimized program
+
+    filename = frame.f_globals.get("__file__")
+    if filename is None:
+        warnings.warn(
+            "pd.analyze(): caller source not found (interactive session?); "
+            "continuing with runtime optimization only",
+            stacklevel=depth + 1,
+        )
+        return None
+    try:
+        with open(filename) as f:
+            source = f.read()
+    except OSError:
+        warnings.warn(
+            f"pd.analyze(): cannot read {filename!r}; "
+            "continuing with runtime optimization only",
+            stacklevel=depth + 1,
+        )
+        return None
+
+    start = time.perf_counter()
+    optimized = optimize_source(source)
+    last_analysis_seconds = time.perf_counter() - start
+
+    if not run:
+        return optimized
+
+    globals_dict = {
+        "__name__": frame.f_globals.get("__name__", "__main__"),
+        "__file__": filename,
+        "__LAFP_OPTIMIZED__": True,
+        "__builtins__": __builtins__,
+    }
+    code = compile(optimized, filename + "#lafp-optimized", "exec")
+    exec(code, globals_dict)  # noqa: S102 - this *is* the executor of Fig. 5
+    raise SystemExit(0)

@@ -1,0 +1,11 @@
+"""Source-to-source rewrites (sections 2.3, 3.1, 3.3, 3.4, 3.6).
+
+Each rewrite mutates IR statements' AST nodes in place (the CFG's
+structure never changes -- LaFP's rewrites are statement-local), then
+codegen re-emits Python.  Module-shell edits (imports, ``pd.flush()``)
+happen on the regenerated module AST.
+"""
+
+from repro.analysis.rewrite.pipeline import RewriteFlags, optimize_program
+
+__all__ = ["RewriteFlags", "optimize_program"]

@@ -1,0 +1,81 @@
+"""Column-selection rewrite (section 3.1, Figures 3-4).
+
+For every ``x = pd.read_csv(...)``, the Out set of live attribute
+analysis at that statement tells exactly which columns of ``x`` the rest
+of the program can use.  If the set is closed (no wildcard), the call
+gains ``usecols=[...]``.  Columns named in ``parse_dates`` / ``index_col``
+are folded in -- ``read_csv`` needs them present to do its job.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.scirpy.cfg import CFG
+from repro.analysis.dataflow.framework import DataflowResult
+from repro.analysis.dataflow.frames import WILDCARD, _const_str, _const_str_list
+
+
+def apply_column_selection(cfg: CFG, laa: DataflowResult, pandas_alias: str) -> int:
+    """Add ``usecols`` to eligible reads; returns how many were rewritten."""
+    rewritten = 0
+    for stmt in cfg.statements():
+        node = stmt.node
+        call = _read_csv_call(node, pandas_alias)
+        if call is None:
+            continue
+        target = node.targets[0].id
+        out_facts = laa.stmt_out.get(stmt.id, frozenset())
+        live = {col for (var, col) in out_facts if var == target}
+        if not live or WILDCARD in live:
+            continue
+        if any(kw.arg == "usecols" for kw in call.keywords):
+            continue
+        live |= _auxiliary_columns(call)
+        call.keywords.append(
+            ast.keyword(
+                arg="usecols",
+                value=ast.List(
+                    elts=[ast.Constant(value=c) for c in sorted(live)],
+                    ctx=ast.Load(),
+                ),
+            )
+        )
+        rewritten += 1
+    return rewritten
+
+
+def _read_csv_call(node: ast.AST, pandas_alias: str) -> Optional[ast.Call]:
+    """The ``pd.read_csv(...)`` call of ``x = pd.read_csv(...)``, if any."""
+    if not (
+        isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+        and isinstance(node.value, ast.Call)
+    ):
+        return None
+    func = node.value.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr == "read_csv"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == pandas_alias
+    ):
+        return node.value
+    return None
+
+
+def _auxiliary_columns(call: ast.Call) -> Set[str]:
+    """Columns the call itself requires (parse_dates, index_col)."""
+    extra: Set[str] = set()
+    for kw in call.keywords:
+        if kw.arg == "parse_dates":
+            columns = _const_str_list(kw.value)
+            if columns:
+                extra.update(columns)
+        elif kw.arg == "index_col":
+            column = _const_str(kw.value)
+            if column:
+                extra.add(column)
+    return extra

@@ -1,0 +1,47 @@
+"""Metadata/read-only hint rewrite (section 3.6).
+
+Adds ``mutated_cols=[...]`` to every ``read_csv`` call: the statically
+computed set of columns the program (or any alias of the frame) assigns
+to.  The LaFP ``read_csv`` wrapper resolves read-only = header minus
+mutated at run time, and only read-only low-cardinality columns become
+``category`` -- the paper's kill-information safety check.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Set
+
+from repro.analysis.scirpy.cfg import CFG
+from repro.analysis.rewrite.column_selection import _read_csv_call
+
+
+def apply_metadata_hints(
+    cfg: CFG,
+    mutated: Dict[str, Set[str]],
+    pandas_alias: str,
+) -> int:
+    """Annotate reads with the mutation kill set; returns reads updated."""
+    updated = 0
+    for stmt in cfg.statements():
+        node = stmt.node
+        call = _read_csv_call(node, pandas_alias)
+        if call is None:
+            continue
+        if any(kw.arg == "mutated_cols" for kw in call.keywords):
+            continue
+        target = node.targets[0].id
+        cols = mutated.get(target, set())
+        if "*" in cols:
+            continue  # whole-frame mutation somewhere: no safe statement
+        call.keywords.append(
+            ast.keyword(
+                arg="mutated_cols",
+                value=ast.List(
+                    elts=[ast.Constant(value=c) for c in sorted(cols)],
+                    ctx=ast.Load(),
+                ),
+            )
+        )
+        updated += 1
+    return updated

@@ -1,0 +1,31 @@
+"""SCIRPy: the Soot-compatible intermediate representation, in Python.
+
+Pipeline (section 2.2): parse -> lower to flat IR statements in basic
+blocks -> CFG -> analyses/transforms -> region reconstruction -> Python.
+"""
+
+from repro.analysis.scirpy.ir import IRStmt, StmtKind
+from repro.analysis.scirpy.cfg import CFG, BasicBlock
+from repro.analysis.scirpy.lowering import lower_source
+from repro.analysis.scirpy.regions import (
+    BlockRegion,
+    IfRegion,
+    LoopRegion,
+    SequenceRegion,
+    build_regions,
+)
+from repro.analysis.scirpy.codegen import cfg_to_source
+
+__all__ = [
+    "BasicBlock",
+    "BlockRegion",
+    "CFG",
+    "IfRegion",
+    "IRStmt",
+    "LoopRegion",
+    "SequenceRegion",
+    "StmtKind",
+    "build_regions",
+    "cfg_to_source",
+    "lower_source",
+]

@@ -1,0 +1,134 @@
+"""Control-flow graph over SCIRPy basic blocks (section 2.2).
+
+A :class:`BasicBlock` is a maximal straight-line run of SIMPLE statements,
+or a single BRANCH / LOOP header.  Edges carry labels (``"then"`` /
+``"else"`` / ``"body"`` / ``"exit"`` / ``"fall"``) so region
+reconstruction can rebuild the structured program.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.analysis.scirpy.ir import IRStmt, StmtKind
+
+_block_ids = itertools.count(0)
+
+
+class BasicBlock:
+    """Sequential fragment of code without branches (paper, section 2.2)."""
+
+    def __init__(self):
+        self.id = next(_block_ids)
+        self.stmts: List[IRStmt] = []
+        self.succs: List[Tuple["BasicBlock", str]] = []
+        self.preds: List["BasicBlock"] = []
+
+    def add_edge(self, target: "BasicBlock", label: str = "fall") -> None:
+        self.succs.append((target, label))
+        target.preds.append(self)
+
+    def successor(self, label: str) -> Optional["BasicBlock"]:
+        for block, edge_label in self.succs:
+            if edge_label == label:
+                return block
+        return None
+
+    @property
+    def terminator(self) -> Optional[IRStmt]:
+        if self.stmts and self.stmts[-1].kind in (StmtKind.BRANCH, StmtKind.LOOP):
+            return self.stmts[-1]
+        return None
+
+    def live_stmts(self) -> List[IRStmt]:
+        return [s for s in self.stmts if not s.deleted]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<BB{self.id} {len(self.stmts)} stmts -> {[b.id for b, _ in self.succs]}>"
+
+
+class CFG:
+    """Whole-program control-flow graph."""
+
+    def __init__(self, entry: BasicBlock, exit_block: BasicBlock):
+        self.entry = entry
+        self.exit = exit_block
+
+    def blocks(self) -> List[BasicBlock]:
+        """All reachable blocks in reverse-postorder (entry first)."""
+        order: List[BasicBlock] = []
+        seen: Set[int] = set()
+
+        def visit(block: BasicBlock) -> None:
+            stack = [(block, iter([b for b, _ in block.succs]))]
+            seen.add(block.id)
+            while stack:
+                current, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt.id not in seen:
+                        seen.add(nxt.id)
+                        stack.append((nxt, iter([b for b, _ in nxt.succs])))
+                        advanced = True
+                        break
+                if not advanced:
+                    order.append(current)
+                    stack.pop()
+
+        visit(self.entry)
+        order.reverse()
+        return order
+
+    def statements(self) -> Iterable[IRStmt]:
+        for block in self.blocks():
+            yield from block.live_stmts()
+
+    # -- dominators (used by region reconstruction) ------------------------
+
+    def dominators(self) -> Dict[int, Set[int]]:
+        """Classic iterative dominator sets keyed by block id."""
+        blocks = self.blocks()
+        all_ids = {b.id for b in blocks}
+        dom: Dict[int, Set[int]] = {b.id: set(all_ids) for b in blocks}
+        dom[self.entry.id] = {self.entry.id}
+        changed = True
+        by_id = {b.id: b for b in blocks}
+        while changed:
+            changed = False
+            for block in blocks:
+                if block is self.entry:
+                    continue
+                preds = [p for p in block.preds if p.id in all_ids]
+                if preds:
+                    new = set.intersection(*(dom[p.id] for p in preds))
+                else:
+                    new = set()
+                new = new | {block.id}
+                if new != dom[block.id]:
+                    dom[block.id] = new
+                    changed = True
+        return dom
+
+    def back_edges(self) -> List[Tuple[BasicBlock, BasicBlock]]:
+        """Edges t -> h where h dominates t (natural-loop back edges)."""
+        dom = self.dominators()
+        out = []
+        for block in self.blocks():
+            for succ, _ in block.succs:
+                if succ.id in dom.get(block.id, set()):
+                    out.append((block, succ))
+        return out
+
+    def to_dot(self) -> str:
+        """Graphviz rendering (debugging aid)."""
+        lines = ["digraph cfg {"]
+        for block in self.blocks():
+            text = "\\n".join(
+                s.source().replace('"', "'")[:40] for s in block.live_stmts()
+            )
+            lines.append(f'  b{block.id} [shape=box label="BB{block.id}\\n{text}"];')
+            for succ, label in block.succs:
+                lines.append(f'  b{block.id} -> b{succ.id} [label="{label}"];')
+        lines.append("}")
+        return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""SCIRPy IR statements.
+
+Each IR statement wraps the original AST node (expressions stay trees, as
+in Jimple) plus structural metadata the CFG builder and codegen need.
+Kinds:
+
+=========== ==========================================================
+``simple``   assignment / expression / import / pass / return, one AST
+             statement, straight-line
+``branch``   the *test* of an ``if``; two successors (then / else)
+``loop``     the header of a ``while`` or ``for``; successors are the
+             body and the exit
+``exit``     synthetic program-exit marker
+=========== ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import itertools
+from typing import Optional
+
+_stmt_ids = itertools.count(1)
+
+
+class StmtKind(enum.Enum):
+    SIMPLE = "simple"
+    BRANCH = "branch"
+    LOOP = "loop"
+    EXIT = "exit"
+
+
+class IRStmt:
+    """One SCIRPy statement."""
+
+    __slots__ = ("id", "kind", "node", "loop_kind", "deleted")
+
+    def __init__(self, kind: StmtKind, node: Optional[ast.AST] = None,
+                 loop_kind: Optional[str] = None):
+        self.id = next(_stmt_ids)
+        self.kind = kind
+        #: original AST node: ast.stmt for SIMPLE, the full ast.If for
+        #: BRANCH, the full ast.While / ast.For for LOOP.
+        self.node = node
+        self.loop_kind = loop_kind  # "while" | "for" for LOOP stmts
+        #: rewrites mark statements deleted instead of reshuffling blocks.
+        self.deleted = False
+
+    def source(self) -> str:
+        if self.node is None:
+            return f"<{self.kind.value}>"
+        return ast.unparse(self.node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<IRStmt {self.id} {self.kind.value}: {self.source()[:40]}>"

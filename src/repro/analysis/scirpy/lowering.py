@@ -1,0 +1,101 @@
+"""Lowering: Python AST -> SCIRPy CFG.
+
+Structured statements lower to branch/loop headers with labelled edges;
+everything else stays a SIMPLE statement carrying its AST.  Function and
+class definitions remain opaque single statements -- the paper's analysis
+is conservative about calls (a dataframe passed to a function uses all
+its columns), so their bodies need no CFG.
+
+``break`` / ``continue`` wire to the enclosing loop's exit / header.
+``exec()``-style dynamic code cannot be analyzed (the paper notes the
+same limitation); it simply stays opaque.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Tuple
+
+from repro.analysis.scirpy.cfg import CFG, BasicBlock
+from repro.analysis.scirpy.ir import IRStmt, StmtKind
+
+
+def lower_source(source: str) -> Tuple[CFG, ast.Module]:
+    """Parse and lower a program; returns its CFG and the parsed module."""
+    tree = ast.parse(source)
+    return lower_module(tree), tree
+
+
+def lower_module(tree: ast.Module) -> CFG:
+    entry = BasicBlock()
+    exit_block = BasicBlock()
+    exit_block.stmts.append(IRStmt(StmtKind.EXIT))
+    end = _lower_body(tree.body, entry, loop_stack=[])
+    if end is not None:
+        end.add_edge(exit_block, "fall")
+    return CFG(entry, exit_block)
+
+
+def _lower_body(
+    stmts: List[ast.stmt],
+    current: BasicBlock,
+    loop_stack: List[Tuple[BasicBlock, BasicBlock]],
+) -> Optional[BasicBlock]:
+    """Lower a statement list into ``current``; returns the fall-through
+    block (None when the body always transfers control away)."""
+    for stmt in stmts:
+        if current is None:
+            break  # unreachable code after break/continue
+        if isinstance(stmt, ast.If):
+            current = _lower_if(stmt, current, loop_stack)
+        elif isinstance(stmt, (ast.While, ast.For)):
+            current = _lower_loop(stmt, current, loop_stack)
+        elif isinstance(stmt, ast.Break):
+            current.stmts.append(IRStmt(StmtKind.SIMPLE, stmt))
+            _, after = loop_stack[-1]
+            current.add_edge(after, "break")
+            current = None
+        elif isinstance(stmt, ast.Continue):
+            current.stmts.append(IRStmt(StmtKind.SIMPLE, stmt))
+            header, _ = loop_stack[-1]
+            current.add_edge(header, "continue")
+            current = None
+        else:
+            current.stmts.append(IRStmt(StmtKind.SIMPLE, stmt))
+    return current
+
+
+def _lower_if(stmt: ast.If, current: BasicBlock, loop_stack) -> BasicBlock:
+    current.stmts.append(IRStmt(StmtKind.BRANCH, stmt))
+    then_entry = BasicBlock()
+    join = BasicBlock()
+    current.add_edge(then_entry, "then")
+    then_end = _lower_body(stmt.body, then_entry, loop_stack)
+    if then_end is not None:
+        then_end.add_edge(join, "fall")
+    if stmt.orelse:
+        else_entry = BasicBlock()
+        current.add_edge(else_entry, "else")
+        else_end = _lower_body(stmt.orelse, else_entry, loop_stack)
+        if else_end is not None:
+            else_end.add_edge(join, "fall")
+    else:
+        current.add_edge(join, "else")
+    return join
+
+
+def _lower_loop(stmt, current: BasicBlock, loop_stack) -> BasicBlock:
+    loop_kind = "while" if isinstance(stmt, ast.While) else "for"
+    header = BasicBlock()
+    header.stmts.append(IRStmt(StmtKind.LOOP, stmt, loop_kind=loop_kind))
+    after = BasicBlock()
+    body_entry = BasicBlock()
+    current.add_edge(header, "fall")
+    header.add_edge(body_entry, "body")
+    header.add_edge(after, "exit")
+    loop_stack.append((header, after))
+    body_end = _lower_body(stmt.body, body_entry, loop_stack)
+    loop_stack.pop()
+    if body_end is not None:
+        body_end.add_edge(header, "back")
+    return after

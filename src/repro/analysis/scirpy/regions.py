@@ -1,0 +1,169 @@
+"""Region reconstruction: CFG -> hierarchical program regions.
+
+The paper converts the graph-based SCIRPy back to structured *program
+regions* (basic-block, branch, loop, sequential regions -- section 2.2,
+following Hecht & Ullman) before emitting Python.  The CFGs produced by
+:mod:`repro.analysis.scirpy.lowering` are reducible by construction, so
+the algorithm is:
+
+- a **branch** region spans from a BRANCH header to its immediate
+  postdominator (the join);
+- a **loop** region is the natural loop of the back edge into a LOOP
+  header; the region continues at the header's ``exit`` successor;
+- everything else folds into **block** / **sequence** regions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.analysis.scirpy.cfg import CFG, BasicBlock
+from repro.analysis.scirpy.ir import IRStmt, StmtKind
+
+
+class Region:
+    """Base class for program regions."""
+
+
+class BlockRegion(Region):
+    """Straight-line statements."""
+
+    def __init__(self, stmts: List[IRStmt]):
+        self.stmts = stmts
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Block({len(self.stmts)})"
+
+
+class SequenceRegion(Region):
+    """Ordered subregions."""
+
+    def __init__(self, items: List[Region]):
+        self.items = items
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Seq({self.items!r})"
+
+
+class IfRegion(Region):
+    """Branch region: header test + then/else subregions."""
+
+    def __init__(self, header: IRStmt, then: Region, orelse: Optional[Region]):
+        self.header = header
+        self.then = then
+        self.orelse = orelse
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"If({self.then!r}, {self.orelse!r})"
+
+
+class LoopRegion(Region):
+    """Loop region: header statement + body subregion."""
+
+    def __init__(self, header: IRStmt, body: Region):
+        self.header = header
+        self.body = body
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Loop({self.body!r})"
+
+
+def build_regions(cfg: CFG) -> Region:
+    """Reconstruct the structured program of ``cfg``."""
+    pdom = _postdominators(cfg)
+    return _walk(cfg.entry, stops=frozenset(), cfg=cfg, pdom=pdom)
+
+
+def _walk(
+    block: Optional[BasicBlock],
+    stops: frozenset,
+    cfg: CFG,
+    pdom: Dict[int, Set[int]],
+) -> Region:
+    """Linearize from ``block`` until hitting a stop block.
+
+    ``stops`` carries the ids of every enclosing region boundary: branch
+    joins and, crucially, the header and exit of every enclosing loop --
+    ``break`` / ``continue`` edges terminate the walk there instead of
+    re-entering the loop.
+    """
+    items: List[Region] = []
+    current = block
+    while (
+        current is not None
+        and current.id not in stops
+        and current is not cfg.exit
+    ):
+        terminator = current.terminator
+        straight = [s for s in current.live_stmts() if s.kind == StmtKind.SIMPLE]
+        if straight:
+            items.append(BlockRegion(straight))
+        if terminator is None:
+            nexts = [b for b, label in current.succs]
+            current = nexts[0] if nexts else None
+            continue
+        if terminator.kind == StmtKind.BRANCH:
+            join = _immediate_postdominator(current, cfg, pdom)
+            join_id = join.id if join is not None else None
+            inner = stops | ({join_id} if join_id is not None else set())
+            then_target = current.successor("then")
+            else_target = current.successor("else")
+            then_region = _walk(then_target, inner, cfg, pdom)
+            else_region = (
+                _walk(else_target, inner, cfg, pdom)
+                if else_target is not None and else_target is not join
+                else None
+            )
+            items.append(IfRegion(terminator, then_region, else_region))
+            current = join
+            continue
+        if terminator.kind == StmtKind.LOOP:
+            after = current.successor("exit")
+            body_target = current.successor("body")
+            inner = stops | {current.id} | ({after.id} if after else set())
+            body_region = _walk(body_target, inner, cfg, pdom)
+            items.append(LoopRegion(terminator, body_region))
+            current = after
+            continue
+        break  # EXIT
+    if len(items) == 1:
+        return items[0]
+    return SequenceRegion(items)
+
+
+def _postdominators(cfg: CFG) -> Dict[int, Set[int]]:
+    """Dominator computation on the reversed CFG."""
+    blocks = cfg.blocks()
+    all_ids = {b.id for b in blocks}
+    pdom: Dict[int, Set[int]] = {b.id: set(all_ids) for b in blocks}
+    pdom[cfg.exit.id] = {cfg.exit.id}
+    changed = True
+    while changed:
+        changed = False
+        for block in reversed(blocks):
+            if block is cfg.exit:
+                continue
+            succs = [s for s, _ in block.succs if s.id in all_ids]
+            if succs:
+                new = set.intersection(*(pdom[s.id] for s in succs))
+            else:
+                new = set()
+            new = new | {block.id}
+            if new != pdom[block.id]:
+                pdom[block.id] = new
+                changed = True
+    return pdom
+
+
+def _immediate_postdominator(
+    block: BasicBlock, cfg: CFG, pdom: Dict[int, Set[int]]
+) -> Optional[BasicBlock]:
+    """The closest strict postdominator (the branch join block)."""
+    strict = pdom[block.id] - {block.id}
+    if not strict:
+        return None
+    by_id = {b.id: b for b in cfg.blocks()}
+    # Among strict postdominators, the closest one is postdominated by
+    # every other (so it has the largest postdominator set).
+    best = max(strict, key=lambda bid: len(pdom[bid]))
+    return by_id.get(best)

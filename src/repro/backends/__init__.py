@@ -1,0 +1,44 @@
+"""Execution backends for the LaFP task graph.
+
+Three backends mirror the paper's setup:
+
+- :class:`PandasBackend` -- eager, whole-frame, in-memory
+  (:mod:`repro.frame` stands in for pandas),
+- :class:`DaskBackend` -- lazy, partitioned, out-of-core with spilling
+  (:mod:`repro.backends.dask_sim` stands in for Dask),
+- :class:`ModinBackend` -- eager, partitioned, in-memory
+  (:mod:`repro.backends.modin_sim` stands in for Modin on Ray).
+
+All three consume the same operator nodes; ops a backend cannot express
+fall back to "convert to pandas, run, convert back" exactly as the paper
+describes for Dask incompatibilities (section 2.6).
+"""
+
+from repro.backends.base import Backend, BackendUnsupported, apply_generic
+from repro.backends.pandas_backend import PandasBackend
+from repro.backends.dask_backend import DaskBackend
+from repro.backends.modin_backend import ModinBackend
+
+
+def get_backend(name: str) -> Backend:
+    """Instantiate a backend by its configuration name."""
+    table = {
+        "pandas": PandasBackend,
+        "dask": DaskBackend,
+        "modin": ModinBackend,
+    }
+    key = name.lower()
+    if key not in table:
+        raise ValueError(f"unknown backend {name!r}; choose from {sorted(table)}")
+    return table[key]()
+
+
+__all__ = [
+    "Backend",
+    "BackendUnsupported",
+    "DaskBackend",
+    "ModinBackend",
+    "PandasBackend",
+    "apply_generic",
+    "get_backend",
+]

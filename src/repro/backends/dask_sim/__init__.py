@@ -1,0 +1,24 @@
+"""Partitioned lazy dataframe engine (the Dask stand-in).
+
+Reproduces the Dask properties the paper depends on:
+
+- **lazy evaluation**: operations build an expression graph; nothing runs
+  until ``compute()`` / ``persist()``,
+- **partitioned out-of-core execution**: CSVs are read in byte-range
+  partitions; pipelines evaluate one partition at a time; materialized
+  partitions spill to disk under memory pressure, so programs survive
+  datasets larger than the simulated RAM budget (Figure 12),
+- **its own optimizer**: column-projection pushdown into reads, blockwise
+  fusion (a consequence of depth-first per-partition evaluation), and
+  culling (only requested roots evaluate) -- LaFP's optimizations
+  *complement* these, as section 2.6 discusses,
+- **no global row order**: shuffles and tree combines reorder rows;
+  position-based indexing is deliberately unsupported,
+- **persist()**: keeps computed partitions resident for reuse.
+"""
+
+from repro.backends.dask_sim.store import PartitionStore
+from repro.backends.dask_sim.expr import Expr
+from repro.backends.dask_sim.frame import DaskFrame, DaskScalar, DaskSeries
+
+__all__ = ["DaskFrame", "DaskScalar", "DaskSeries", "Expr", "PartitionStore"]

@@ -1,0 +1,159 @@
+"""Expression graph of the Dask simulator.
+
+Kinds:
+
+=============== ============================================================
+``read_csv``     byte-range partitioned CSV source
+``materialized`` partitions already computed (``persist()`` / shuffles)
+``from_pandas``  eager frame split into row partitions
+``blockwise``    partition-aligned map over child partitions (elementwise
+                 ops, filters, column get/set, per-partition dropna, ...)
+``tree``         map each child partition to a small partial, concatenate
+                 the partials, apply a combine function -> one partition
+                 (group-by aggregation, drop_duplicates, nlargest,
+                 value_counts, scalar reductions)
+``merge_broadcast`` hash-join where the right side is a single partition
+``merge_shuffle``   hash-partition both sides into buckets, join per bucket
+``concat``       union of the children's partition lists
+``head``         first ``n`` rows from the leading partitions
+=============== ============================================================
+
+``blockwise`` children must agree on partition count (single-partition
+children broadcast).  Evaluation is depth-first per partition, which gives
+operator *fusion* for free: an entire elementwise pipeline runs on one
+partition before the next partition is read.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, List, Optional, Sequence
+
+_expr_ids = itertools.count(1)
+
+
+class Expr:
+    """One node of the lazy expression graph."""
+
+    __slots__ = ("id", "kind", "children", "params", "npartitions")
+
+    def __init__(
+        self,
+        kind: str,
+        children: Sequence["Expr"] = (),
+        params: Optional[dict] = None,
+        npartitions: int = 1,
+    ):
+        self.id = next(_expr_ids)
+        self.kind = kind
+        self.children: List[Expr] = list(children)
+        self.params = params or {}
+        self.npartitions = npartitions
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Expr {self.id} {self.kind} p={self.npartitions}>"
+
+
+def read_csv_expr(
+    path: str,
+    byte_ranges: Sequence[tuple],
+    usecols=None,
+    dtype=None,
+    parse_dates=None,
+) -> Expr:
+    return Expr(
+        "read_csv",
+        params={
+            "path": path,
+            "byte_ranges": list(byte_ranges),
+            "usecols": usecols,
+            "dtype": dtype,
+            "parse_dates": parse_dates,
+        },
+        npartitions=len(byte_ranges),
+    )
+
+
+def materialized_expr(handles) -> Expr:
+    return Expr(
+        "materialized",
+        params={"handles": list(handles)},
+        npartitions=len(handles),
+    )
+
+
+def blockwise_expr(
+    func: Callable,
+    children: Sequence[Expr],
+    description: str,
+    bparams: Optional[dict] = None,
+) -> Expr:
+    nparts = max(c.npartitions for c in children)
+    for child in children:
+        if child.npartitions not in (1, nparts):
+            raise ValueError(
+                f"blockwise partition mismatch: {child.npartitions} vs {nparts}"
+            )
+    return Expr(
+        "blockwise",
+        children=children,
+        params={"func": func, "bparams": bparams or {}, "desc": description},
+        npartitions=nparts,
+    )
+
+
+def tree_expr(
+    child: Expr,
+    map_func: Callable,
+    combine_func: Callable,
+    description: str,
+) -> Expr:
+    return Expr(
+        "tree",
+        children=[child],
+        params={"map": map_func, "combine": combine_func, "desc": description},
+        npartitions=1,
+    )
+
+
+def concat_expr(children: Sequence[Expr]) -> Expr:
+    return Expr(
+        "concat",
+        children=list(children),
+        npartitions=sum(c.npartitions for c in children),
+    )
+
+
+def head_expr(child: Expr, n: int) -> Expr:
+    return Expr("head", children=[child], params={"n": n}, npartitions=1)
+
+
+def merge_broadcast_expr(left: Expr, right: Expr, kwargs: dict) -> Expr:
+    return Expr(
+        "merge_broadcast",
+        children=[left, right],
+        params={"kwargs": kwargs},
+        npartitions=left.npartitions,
+    )
+
+
+def merge_shuffle_expr(left: Expr, right: Expr, kwargs: dict, nbuckets: int) -> Expr:
+    return Expr(
+        "merge_shuffle",
+        children=[left, right],
+        params={"kwargs": kwargs, "nbuckets": nbuckets},
+        npartitions=nbuckets,
+    )
+
+
+def walk(expr: Expr):
+    """All reachable expression nodes (each yielded once)."""
+    seen = set()
+    stack = [expr]
+    while stack:
+        node = stack.pop()
+        if node.id in seen:
+            continue
+        seen.add(node.id)
+        yield node
+        stack.extend(node.children)

@@ -1,0 +1,665 @@
+"""Eager partitioned frame/series of the Modin simulator.
+
+A :class:`ModinFrame` is a list of eager :class:`repro.frame.DataFrame`
+row partitions.  Operations execute immediately, partition-parallel on a
+thread pool.  Aggregations use the same partial/combine strategy as the
+Dask simulator but run eagerly.  There is no spilling: all partitions are
+memory-resident, so the simulated budget binds exactly as it does for
+pandas (Figure 12's middle column).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ThreadPoolExecutor
+from typing import Callable, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.backends.base import BackendUnsupported
+from repro.frame import DataFrame, Series, concat
+from repro.frame.io_csv import read_csv, read_header, scan_partitions
+
+_POOL = ThreadPoolExecutor(
+    max_workers=min(4, os.cpu_count() or 1),
+    thread_name_prefix="modin-worker",
+)
+
+
+def _pmap(func: Callable, items: Sequence) -> List:
+    """Parallel map over partitions (exceptions propagate)."""
+    if len(items) <= 1:
+        return [func(item) for item in items]
+    return list(_POOL.map(func, items))
+
+
+def modin_read_csv(
+    path: str,
+    partition_bytes: int,
+    usecols=None,
+    dtype=None,
+    parse_dates=None,
+    index_col: Optional[str] = None,
+    compact_strings: bool = True,
+) -> "ModinFrame":
+    """Partitioned eager CSV read with Arrow-style string compaction."""
+    from repro.memory import memory_manager
+
+    budget = memory_manager.budget
+    if budget is not None:
+        partition_bytes = min(partition_bytes, max(1 << 12, budget // 24))
+    n_partitions = max(1, os.path.getsize(path) // partition_bytes)
+    ranges = scan_partitions(path, int(n_partitions))
+
+    def _read(byte_range):
+        part = read_csv(
+            path,
+            usecols=usecols,
+            dtype=dtype,
+            parse_dates=parse_dates,
+            byte_range=byte_range,
+        )
+        if compact_strings:
+            part = _dictionary_encode(part)
+        if index_col is not None:
+            part = part.set_index(index_col)
+        return part
+
+    return ModinFrame(_pmap(_read, ranges))
+
+
+def _dictionary_encode(frame: DataFrame) -> DataFrame:
+    """Encode repetitive object columns as categories (the Arrow model).
+
+    Arrow only dictionary-encodes when the dictionary pays for itself;
+    high-cardinality columns (IDs, free text) stay as plain strings.
+    """
+    out = {}
+    for name in frame.columns:
+        col = frame.column(name)
+        if (
+            not col.is_category
+            and col.values.dtype.kind == "O"
+            and len(col) > 0
+            and col.nunique() <= 0.5 * len(col)
+        ):
+            out[name] = col.astype("category")
+        else:
+            out[name] = col
+    return DataFrame.from_columns(out, index=frame.index)
+
+
+class ModinFrame:
+    """Row-partitioned eager dataframe."""
+
+    def __init__(self, partitions: List[DataFrame]):
+        if not partitions:
+            partitions = [DataFrame({})]
+        self.partitions = partitions
+
+    # -- basics --------------------------------------------------------------
+
+    @property
+    def npartitions(self) -> int:
+        return len(self.partitions)
+
+    @property
+    def columns(self) -> List[str]:
+        return self.partitions[0].columns
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    @property
+    def nbytes(self) -> int:
+        return sum(p.nbytes for p in self.partitions)
+
+    def to_pandas(self) -> DataFrame:
+        if len(self.partitions) == 1:
+            return self.partitions[0]
+        return concat(self.partitions)
+
+    def _map(self, func: Callable) -> "ModinFrame":
+        return ModinFrame(_pmap(func, self.partitions))
+
+    def _zip_map(self, other_parts: List, func: Callable) -> "ModinFrame":
+        pairs = list(zip(self.partitions, other_parts))
+        return ModinFrame(_pmap(lambda pair: func(*pair), pairs))
+
+    # -- selection ---------------------------------------------------------------
+
+    def __getitem__(self, key):
+        if isinstance(key, str):
+            return ModinSeries([p[key] for p in self.partitions], name=key)
+        if isinstance(key, list):
+            return self._map(lambda p: p[list(key)])
+        if isinstance(key, ModinSeries):
+            return self._zip_map(key.partitions, lambda p, m: p[m])
+        raise BackendUnsupported(f"getitem with {type(key).__name__}")
+
+    def __getattr__(self, name: str):
+        if name.startswith("_") or name == "partitions":
+            raise AttributeError(name)
+        if name in self.partitions[0].columns:
+            return self[name]
+        raise AttributeError(name)
+
+    def __setitem__(self, name: str, value) -> None:
+        """In-place pandas idiom ``df[c] = s`` (eager, per partition)."""
+        self.partitions = self.with_column(name, value).partitions
+
+    def with_column(self, name: str, value) -> "ModinFrame":
+        if isinstance(value, ModinSeries):
+            return self._zip_map(
+                value.partitions, lambda p, s: p.with_column(name, s)
+            )
+        if isinstance(value, Series):
+            return self.with_column(name, _split_series(value, self._row_counts()))
+        return self._map(lambda p: p.with_column(name, value))
+
+    def _row_counts(self) -> List[int]:
+        return [len(p) for p in self.partitions]
+
+    def head(self, n: int = 5) -> DataFrame:
+        pieces = []
+        have = 0
+        for part in self.partitions:
+            pieces.append(part.head(n - have))
+            have += len(pieces[-1])
+            if have >= n:
+                break
+        return pieces[0] if len(pieces) == 1 else concat(pieces)
+
+    def tail(self, n: int = 5) -> DataFrame:
+        return self.to_pandas().tail(n)
+
+    def sample(self, n: int, seed: int = 0) -> "ModinFrame":
+        per = max(1, n // max(1, self.npartitions))
+        return self._map(lambda p: p.sample(per, seed=seed))
+
+    # -- per-partition transforms -----------------------------------------------------
+
+    def dropna(self, subset=None) -> "ModinFrame":
+        return self._map(lambda p: p.dropna(subset=subset))
+
+    def fillna(self, value) -> "ModinFrame":
+        return self._map(lambda p: p.fillna(value))
+
+    def astype(self, dtype) -> "ModinFrame":
+        return self._map(lambda p: p.astype(dtype))
+
+    def rename(self, columns) -> "ModinFrame":
+        return self._map(lambda p: p.rename(columns=columns))
+
+    def drop(self, columns) -> "ModinFrame":
+        return self._map(lambda p: p.drop(columns=columns))
+
+    def round(self, decimals: int = 0) -> "ModinFrame":
+        return self._map(lambda p: p.round(decimals))
+
+    def set_index(self, column: str) -> "ModinFrame":
+        return self._map(lambda p: p.set_index(column))
+
+    def reset_index(self, drop: bool = False) -> "ModinFrame":
+        return self._map(lambda p: p.reset_index(drop=drop))
+
+    def apply(self, func, axis: int = 1) -> "ModinSeries":
+        return ModinSeries(_pmap(lambda p: p.apply(func, axis=axis), self.partitions))
+
+    def select_dtypes(self, include: str) -> "ModinFrame":
+        return self._map(lambda p: p.select_dtypes(include))
+
+    # -- global operators (materialize / repartition) ------------------------------------
+
+    def sort_values(self, by, ascending=True) -> "ModinFrame":
+        whole = self.to_pandas().sort_values(by, ascending=ascending)
+        return _resplit(whole, self.npartitions)
+
+    def sort_index(self) -> "ModinFrame":
+        whole = self.to_pandas().sort_index()
+        return _resplit(whole, self.npartitions)
+
+    def drop_duplicates(self, subset=None) -> "ModinFrame":
+        partial = self._map(lambda p: p.drop_duplicates(subset=subset))
+        whole = partial.to_pandas().drop_duplicates(subset=subset)
+        return _resplit(whole, self.npartitions)
+
+    def nlargest(self, n: int, columns) -> "ModinFrame":
+        partial = self._map(lambda p: p.nlargest(n, columns))
+        return ModinFrame([partial.to_pandas().nlargest(n, columns)])
+
+    def nsmallest(self, n: int, columns) -> "ModinFrame":
+        partial = self._map(lambda p: p.nsmallest(n, columns))
+        return ModinFrame([partial.to_pandas().nsmallest(n, columns)])
+
+    def describe(self) -> DataFrame:
+        return self.to_pandas().describe()
+
+    def merge(self, right, **kwargs) -> "ModinFrame":
+        if isinstance(right, DataFrame):
+            right_frame = right
+        elif isinstance(right, ModinFrame):
+            right_frame = right.to_pandas()
+        else:
+            raise BackendUnsupported(f"merge with {type(right).__name__}")
+        if right_frame.nbytes <= 8 * (1 << 20):
+            # Broadcast join: keep the left side partitioned.
+            return self._map(lambda p: p.merge(right_frame, **kwargs))
+        whole = self.to_pandas().merge(right_frame, **kwargs)
+        return _resplit(whole, self.npartitions)
+
+    def groupby(self, by, as_index: bool = True) -> "ModinGroupBy":
+        keys = [by] if isinstance(by, str) else list(by)
+        return ModinGroupBy(self, keys, as_index=as_index)
+
+    def to_csv(self, path: str, index: bool = False) -> None:
+        self.to_pandas().to_csv(path, index=index)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<ModinFrame {len(self)} rows, {self.npartitions} partitions>"
+
+
+class ModinSeries:
+    """Row-partitioned eager series."""
+
+    def __init__(self, partitions: List[Series], name: Optional[str] = None):
+        self.partitions = partitions
+        self.name = name
+
+    @property
+    def npartitions(self) -> int:
+        return len(self.partitions)
+
+    def __len__(self) -> int:
+        return sum(len(p) for p in self.partitions)
+
+    def to_pandas(self) -> Series:
+        if len(self.partitions) == 1:
+            return self.partitions[0]
+        return concat(self.partitions)
+
+    def _map(self, func: Callable) -> "ModinSeries":
+        return ModinSeries(_pmap(func, self.partitions), name=self.name)
+
+    def _zip(self, other, func: Callable) -> "ModinSeries":
+        if isinstance(other, ModinSeries):
+            pairs = list(zip(self.partitions, other.partitions))
+            return ModinSeries(
+                _pmap(lambda pair: func(*pair), pairs), name=self.name
+            )
+        return self._map(lambda p: func(p, other))
+
+    # -- operators -------------------------------------------------------------
+
+    def __add__(self, other):
+        return self._zip(other, lambda a, b: a + b)
+
+    def __radd__(self, other):
+        return self._map(lambda p: other + p)
+
+    def __sub__(self, other):
+        return self._zip(other, lambda a, b: a - b)
+
+    def __rsub__(self, other):
+        return self._map(lambda p: other - p)
+
+    def __mul__(self, other):
+        return self._zip(other, lambda a, b: a * b)
+
+    def __rmul__(self, other):
+        return self._map(lambda p: other * p)
+
+    def __truediv__(self, other):
+        return self._zip(other, lambda a, b: a / b)
+
+    def __rtruediv__(self, other):
+        return self._map(lambda p: other / p)
+
+    def __floordiv__(self, other):
+        return self._zip(other, lambda a, b: a // b)
+
+    def __mod__(self, other):
+        return self._zip(other, lambda a, b: a % b)
+
+    def __eq__(self, other):  # type: ignore[override]
+        return self._zip(other, lambda a, b: a == b)
+
+    def __ne__(self, other):  # type: ignore[override]
+        return self._zip(other, lambda a, b: a != b)
+
+    def __lt__(self, other):
+        return self._zip(other, lambda a, b: a < b)
+
+    def __le__(self, other):
+        return self._zip(other, lambda a, b: a <= b)
+
+    def __gt__(self, other):
+        return self._zip(other, lambda a, b: a > b)
+
+    def __ge__(self, other):
+        return self._zip(other, lambda a, b: a >= b)
+
+    __hash__ = None  # type: ignore[assignment]
+
+    def __and__(self, other):
+        return self._zip(other, lambda a, b: a & b)
+
+    def __or__(self, other):
+        return self._zip(other, lambda a, b: a | b)
+
+    def __invert__(self):
+        return self._map(lambda p: ~p)
+
+    def __getitem__(self, key):
+        if isinstance(key, ModinSeries):
+            pairs = list(zip(self.partitions, key.partitions))
+            return ModinSeries(
+                _pmap(lambda pair: pair[0][pair[1]], pairs), name=self.name
+            )
+        raise BackendUnsupported("series position indexing")
+
+    def abs(self):
+        return self._map(lambda p: p.abs())
+
+    def round(self, decimals: int = 0):
+        return self._map(lambda p: p.round(decimals))
+
+    def isin(self, values):
+        values = list(values)
+        return self._map(lambda p: p.isin(values))
+
+    def between(self, left, right, inclusive: str = "both"):
+        return self._map(lambda p: p.between(left, right, inclusive=inclusive))
+
+    def isna(self):
+        return self._map(lambda p: p.isna())
+
+    def notna(self):
+        return self._map(lambda p: p.notna())
+
+    def fillna(self, value):
+        return self._map(lambda p: p.fillna(value))
+
+    def dropna(self):
+        return self._map(lambda p: p.dropna())
+
+    def astype(self, dtype):
+        return self._map(lambda p: p.astype(dtype))
+
+    def map(self, func):
+        return self._map(lambda p: p.map(func))
+
+    apply = map
+
+    @property
+    def str(self) -> "ModinStringAccessor":
+        return ModinStringAccessor(self)
+
+    @property
+    def dt(self) -> "ModinDatetimeAccessor":
+        return ModinDatetimeAccessor(self)
+
+    # -- reductions ----------------------------------------------------------------
+
+    def sum(self):
+        return sum(p.sum() for p in self.partitions)
+
+    def count(self) -> int:
+        return sum(p.count() for p in self.partitions)
+
+    def mean(self):
+        total = sum(p.dropna().sum() for p in self.partitions)
+        count = self.count()
+        return total / count if count else float("nan")
+
+    def min(self):
+        values = [p.min() for p in self.partitions if len(p)]
+        values = [v for v in values if v is not None]
+        return min(values) if values else None
+
+    def max(self):
+        values = [p.max() for p in self.partitions if len(p)]
+        values = [v for v in values if v is not None]
+        return max(values) if values else None
+
+    def nunique(self) -> int:
+        uniques = set()
+        for p in self.partitions:
+            uniques.update(p.unique())
+        return len(uniques)
+
+    def unique(self) -> np.ndarray:
+        uniques: set = set()
+        for p in self.partitions:
+            uniques.update(p.unique())
+        return np.asarray(sorted(uniques, key=str), dtype=object)
+
+    def value_counts(self) -> Series:
+        return self.to_pandas().value_counts()
+
+    def head(self, n: int = 5) -> Series:
+        return self.to_pandas().head(n)
+
+    def sort_values(self, ascending: bool = True) -> Series:
+        return self.to_pandas().sort_values(ascending=ascending)
+
+    def to_frame(self, name=None) -> ModinFrame:
+        return ModinFrame([p.to_frame(name) for p in self.partitions])
+
+
+class ModinStringAccessor:
+    """Partition-parallel ``.str``."""
+
+    def __init__(self, series: ModinSeries):
+        self._series = series
+
+    def __getattr__(self, method: str):
+        if method.startswith("_"):
+            raise AttributeError(method)
+
+        def _call(*args, **kwargs):
+            return self._series._map(
+                lambda p: getattr(p.str, method)(*args, **kwargs)
+            )
+
+        return _call
+
+
+class ModinDatetimeAccessor:
+    """Partition-parallel ``.dt``."""
+
+    _FIELDS = (
+        "year", "month", "day", "hour", "minute", "second",
+        "dayofweek", "weekday", "date", "dayofyear",
+    )
+
+    def __init__(self, series: ModinSeries):
+        self._series = series
+
+    def __getattr__(self, field: str):
+        if field not in self._FIELDS:
+            raise AttributeError(field)
+        return self._series._map(lambda p: getattr(p.dt, field))
+
+
+class ModinGroupBy:
+    """Eager partial/combine group-by.
+
+    Aggregates each partition independently, concatenates the (small)
+    partials, and re-aggregates -- the same strategy the Dask simulator
+    uses, but eager.  Memory stays bounded by the number of groups
+    rather than the number of rows, matching real Modin's map-reduce
+    group-by.
+    """
+
+    _RECOMBINE = {"sum": "sum", "count": "sum", "min": "min", "max": "max"}
+
+    def __init__(self, frame: ModinFrame, keys: List[str], as_index: bool = True):
+        self._frame = frame
+        self._keys = keys
+        self._as_index = as_index
+
+    def __getitem__(self, column: Union[str, List[str]]):
+        if isinstance(column, str):
+            return ModinSeriesGroupBy(self, column)
+        return ModinFrameGroupBy(self, list(column))
+
+    def size(self) -> Series:
+        keys = self._keys
+        partials = _pmap(
+            lambda p: (
+                p[keys]
+                .with_column("__one__", 1)
+                .groupby(keys, as_index=False)
+                .agg({"__one__": "sum"})
+            ),
+            self._frame.partitions,
+        )
+        combined = concat(partials)
+        return combined.groupby(keys)["__one__"].sum().rename("size")
+
+    def agg(self, spec: dict):
+        """Two-phase aggregation; mean decomposes into sum + count."""
+        needed = set()
+        normalized = {}
+        for column, funcs in spec.items():
+            func_list = [funcs] if isinstance(funcs, str) else list(funcs)
+            for func in func_list:
+                label = column if len(func_list) == 1 else f"{column}_{func}"
+                normalized[label] = (column, func)
+                partial_funcs = (
+                    ("sum", "count") if func == "mean" else (func,)
+                )
+                for partial in partial_funcs:
+                    if partial in self._RECOMBINE:
+                        needed.add((column, partial))
+                    else:
+                        # Non-decomposable aggregate: whole-frame fallback.
+                        whole = self._frame.to_pandas()
+                        return whole.groupby(
+                            self._keys, as_index=self._as_index
+                        ).agg(spec)
+        ordered = sorted(needed)
+        keys = self._keys
+
+        def _partial(part: DataFrame) -> DataFrame:
+            grouped = part.groupby(keys, as_index=False)
+            out = None
+            for column, partial in ordered:
+                agg_frame = grouped.agg({column: partial})
+                if out is None:
+                    out = agg_frame[keys]
+                out = out.with_column(
+                    f"{column}__{partial}", agg_frame[column].values
+                )
+            return out
+
+        combined = concat(_pmap(_partial, self._frame.partitions))
+        rolled = combined.groupby(keys, as_index=False).agg(
+            {
+                f"{c}__{p}": self._RECOMBINE[p]
+                for c, p in ordered
+            }
+        )
+        result = rolled[keys]
+        for label, (column, func) in normalized.items():
+            if func == "mean":
+                values = (
+                    rolled[f"{column}__sum"] / rolled[f"{column}__count"]
+                )
+            else:
+                values = rolled[f"{column}__{func}"]
+            result = result.with_column(label, values)
+        if self._as_index:
+            if len(keys) == 1:
+                result = result.set_index(keys[0])
+            else:
+                joined = np.array(
+                    [
+                        "|".join(map(str, row))
+                        for row in zip(*(result[k].values for k in keys))
+                    ],
+                    dtype=object,
+                )
+                result = result.drop(columns=keys)
+                from repro.frame.index import Index as _Index
+
+                result.index = _Index(joined, name="|".join(keys))
+        return result
+
+
+class ModinSeriesGroupBy:
+    def __init__(self, parent: ModinGroupBy, column: str):
+        self._parent = parent
+        self._column = column
+
+    def _agg(self, func: str) -> Series:
+        result = self._parent.agg({self._column: func})
+        if isinstance(result, Series):
+            return result
+        return result[self._column]
+
+    def sum(self):
+        return self._agg("sum")
+
+    def mean(self):
+        return self._agg("mean")
+
+    def count(self):
+        return self._agg("count")
+
+    def min(self):
+        return self._agg("min")
+
+    def max(self):
+        return self._agg("max")
+
+    def agg(self, func: str):
+        return self._agg(func)
+
+
+class ModinFrameGroupBy:
+    def __init__(self, parent: ModinGroupBy, columns: List[str]):
+        self._parent = parent
+        self._columns = columns
+
+    def _agg_all(self, func: str):
+        return self._parent.agg({c: func for c in self._columns})
+
+    def sum(self):
+        return self._agg_all("sum")
+
+    def mean(self):
+        return self._agg_all("mean")
+
+    def count(self):
+        return self._agg_all("count")
+
+    def min(self):
+        return self._agg_all("min")
+
+    def max(self):
+        return self._agg_all("max")
+
+    def agg(self, spec):
+        if isinstance(spec, str):
+            return self._agg_all(spec)
+        return self._parent.agg(spec)
+
+
+def _resplit(frame: DataFrame, npartitions: int) -> ModinFrame:
+    n = len(frame)
+    npartitions = max(1, min(npartitions, max(1, n)))
+    bounds = np.linspace(0, n, npartitions + 1).astype(int)
+    return ModinFrame(
+        [frame[int(lo):int(hi)] for lo, hi in zip(bounds[:-1], bounds[1:])]
+    )
+
+
+def _split_series(series: Series, counts: List[int]) -> ModinSeries:
+    out = []
+    offset = 0
+    for count in counts:
+        out.append(series[offset:offset + count])
+        offset += count
+    return ModinSeries(out, name=series.name)

@@ -1,0 +1,24 @@
+"""LaFP lazy runtime (the paper's primary contribution).
+
+- :mod:`repro.core.session` -- per-program state: backend choice, pending
+  lazy prints, persisted-node cache, optimization flags.
+- :mod:`repro.core.lazyframe` -- ``LazyFrame`` / ``LazySeries`` /
+  ``LazyScalar`` wrappers that mirror the pandas API and build the task
+  graph (the paper's ``FatDataFrame``, section 2.5).
+- :mod:`repro.core.optimizer` -- runtime DAG optimizations (section 3):
+  predicate pushdown, common-subexpression elimination, projection
+  pushdown, metadata-driven dtypes, and ``live_df`` persistence.
+"""
+
+from repro.core.session import Session, get_session, reset_session
+from repro.core.lazyframe import LazyFrame, LazyGroupBy, LazyScalar, LazySeries
+
+__all__ = [
+    "LazyFrame",
+    "LazyGroupBy",
+    "LazyScalar",
+    "LazySeries",
+    "Session",
+    "get_session",
+    "reset_session",
+]

@@ -1,0 +1,47 @@
+"""Optimizer pipeline: runs the section-3 rules in order, honouring flags."""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graph.node import Node
+from repro.core.optimizer.common_subexpr import (
+    eliminate_common_subexpressions,
+    mark_persistent_nodes,
+    persist_shared_nodes,
+)
+from repro.core.optimizer.metadata_opt import apply_metadata_hints
+from repro.core.optimizer.predicate_pushdown import push_down_predicates
+from repro.core.optimizer.projection import push_down_projections
+
+
+def optimize(
+    roots: Sequence[Node],
+    session,
+    live_nodes: Optional[List[Node]] = None,
+) -> dict:
+    """Optimize the subgraph under ``roots`` in place.
+
+    Returns a report of what each rule did (used by tests and the
+    ablation benchmarks).
+    """
+    flags = session.flags
+    report = {"cse": 0, "pushdown": 0, "projection": 0, "metadata": 0, "persisted": 0}
+    if flags.common_subexpression:
+        report["cse"] = eliminate_common_subexpressions(roots)
+    if flags.predicate_pushdown:
+        report["pushdown"] = push_down_predicates(roots)
+    if flags.projection_pushdown:
+        report["projection"] = push_down_projections(roots)
+    if flags.metadata:
+        report["metadata"] = apply_metadata_hints(roots, session.metastore)
+    if flags.caching and live_nodes:
+        report["persisted"] = len(
+            mark_persistent_nodes(roots, live_nodes, session)
+        )
+    if flags.caching and session.backend.is_lazy:
+        shared = persist_shared_nodes(roots)
+        session.persisted.extend(shared)
+        report["persisted"] += len(shared)
+    session.last_optimize_report = report
+    return report

@@ -1,0 +1,266 @@
+"""Predicate pushdown on the task DAG (section 3.2).
+
+A filter node ``f`` with frame input ``u`` swaps below ``u`` when the
+paper's three safe-point conditions hold:
+
+1. ``mod_attrs(u) ∩ used_attrs(f) = ∅``,
+2. ``u`` is row-preserving: filtering its input does not change the
+   computed values of surviving output rows (encoded per-operator in
+   :class:`repro.graph.node.OpSpec`),
+3. ``f`` is the only (data) consumer of ``u``.
+
+Two multi-parent extensions are also implemented:
+
+- all parents of ``u`` are filters with *structurally equal* predicates:
+  one filter pushes below ``u`` and the parents are removed;
+- all parents of ``u`` are filters with different predicates: their
+  conjunction pushes below ``u`` while the originals stay.
+
+Pushing rebases the predicate expression: the mask was built against
+``u``'s output, so its column reads are re-rooted onto ``u``'s input
+(condition 1 guarantees those columns are unchanged by ``u``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.node import ALL_COLUMNS, Node
+from repro.graph.taskgraph import collect_subgraph, consumers_of
+
+_MAX_PASSES = 50
+
+
+def push_down_predicates(roots: Sequence[Node]) -> int:
+    """Move filters toward sources; returns the number of swaps made."""
+    swaps = 0
+    for _ in range(_MAX_PASSES):
+        moved = _one_pass(roots)
+        if not moved:
+            break
+        swaps += moved
+    return swaps
+
+
+def _one_pass(roots: Sequence[Node]) -> int:
+    nodes = collect_subgraph(roots)
+    consumers = consumers_of(nodes)
+    root_ids = {r.id for r in roots}
+    moved = 0
+    for f in nodes:
+        if not f.spec.is_filter:
+            continue
+        u = f.inputs[0]
+        if _can_swap(f, u, consumers, root_ids):
+            _swap(f, u)
+            return 1  # graph changed; recompute consumer map
+        merged = _try_multi_parent(u, consumers, root_ids, nodes)
+        if merged:
+            return merged
+    return moved
+
+
+def _can_swap(f: Node, u: Node, consumers: Dict[int, List[Node]], root_ids) -> bool:
+    if u.spec.is_source or u.spec.side_effect or not u.spec.row_preserving:
+        return False
+    if not u.inputs:
+        return False
+    if u.id in root_ids:
+        return False  # u's unfiltered output is requested elsewhere
+    mods = u.mod_attrs()
+    used = f.used_attrs()
+    if ALL_COLUMNS in mods and used:
+        return False
+    if ALL_COLUMNS in used and mods:
+        return False
+    if mods & used:
+        return False
+    # Condition 3: f is the only data consumer of u -- but predicate
+    # column reads that feed f's own mask are allowed, since they move
+    # with the filter.
+    mask_nodes = {n.id for n in collect_subgraph([f.inputs[1]])}
+    for consumer in consumers.get(u.id, []):
+        if consumer is f:
+            continue
+        if consumer.id in mask_nodes:
+            continue
+        return False
+    # u's side inputs (e.g. a setitem's value series) are row-aligned
+    # with u's frame input; after the swap they must be recomputed on the
+    # *filtered* frame.  That is only sound when the side expression is a
+    # pure elementwise derivation of the frame input.
+    base = u.inputs[0]
+    for side in u.inputs[1:]:
+        if not _elementwise_over(side, base):
+            return False
+    return True
+
+
+def _elementwise_over(node: Node, base: Node) -> bool:
+    """True when ``node``'s subgraph down to ``base`` is elementwise.
+
+    Walks the expression; every path must reach ``base`` only through
+    row-preserving series operators, so re-rooting it onto a filtered
+    frame yields the filtered rows of the same values.
+    """
+    from repro.graph.node import _ELEMENTWISE_SERIES_OPS
+
+    stack = [node]
+    seen = set()
+    while stack:
+        current = stack.pop()
+        if current is base or current.id in seen:
+            continue
+        seen.add(current.id)
+        if current.op == "getitem_column":
+            # reads a column of whatever frame it points at; fine.
+            stack.extend(current.inputs)
+            continue
+        if current.op in _ELEMENTWISE_SERIES_OPS:
+            stack.extend(current.inputs)
+            continue
+        if current.spec.is_source:
+            continue
+        return False
+    return True
+
+
+def _swap(f: Node, u: Node) -> None:
+    """Rewire so the filter runs before ``u``."""
+    base = u.inputs[0]
+    new_mask = _rebase(f.inputs[1], old=u, new=base)
+    new_filter = Node("filter", inputs=[base, new_mask], label=f.label)
+    u.replace_input(base, new_filter)
+    # Side inputs (setitem values, second filter masks) were row-aligned
+    # with the unfiltered base; recompute them on the filtered frame.
+    for i in range(1, len(u.inputs)):
+        u.inputs[i] = _rebase(u.inputs[i], old=base, new=new_filter)
+    # f becomes a passthrough of u: consumers of f now see u's output.
+    _alias(f, u)
+
+
+def _alias(old: Node, new: Node) -> None:
+    """Make ``old`` a transparent alias of ``new``.
+
+    Consumers hold direct references to ``old``; rather than hunting all
+    of them down we convert ``old`` into an identity projection of
+    ``new``.  The later CSE/identity cleanup or executor handles it at
+    zero cost (identity is implemented as a no-op).
+    """
+    old.op = "identity"
+    old.inputs = [new]
+    old.args = {}
+
+
+def _rebase(mask: Node, old: Node, new: Node) -> Node:
+    """Clone the predicate expression with reads re-rooted on ``new``."""
+    memo: Dict[int, Node] = {}
+
+    def clone(node: Node) -> Node:
+        if node is old:
+            return new
+        if node.id in memo:
+            return memo[node.id]
+        if not _depends_on(node, old):
+            return node  # untouched branch; safe to share
+        copy = Node(
+            node.op,
+            inputs=[clone(inp) for inp in node.inputs],
+            args=dict(node.args),
+            label=node.label,
+        )
+        memo[node.id] = copy
+        return copy
+
+    return clone(mask)
+
+
+def _depends_on(node: Node, target: Node) -> bool:
+    return any(n is target for n in collect_subgraph([node]))
+
+
+def _try_multi_parent(
+    u: Node,
+    consumers: Dict[int, List[Node]],
+    root_ids,
+    nodes: List[Node],
+) -> int:
+    """The paper's multi-parent rules (same-filter and conjunction)."""
+    all_consumers = consumers.get(u.id, [])
+    if u.spec.is_source or u.spec.side_effect or not u.spec.row_preserving:
+        return 0
+    if not u.inputs or u.id in root_ids:
+        return 0
+    parents = [
+        c for c in all_consumers if c.spec.is_filter and c.inputs[0] is u
+    ]
+    if len(parents) < 2:
+        return 0
+    # Consumers inside the parents' own mask expressions move with the
+    # filters; any other consumer sees u's unfiltered output and blocks
+    # the rewrite.
+    mask_nodes = set()
+    for p in parents:
+        mask_nodes |= {n.id for n in collect_subgraph([p.inputs[1]])}
+    for c in all_consumers:
+        if c in parents or c.id in mask_nodes:
+            continue
+        return 0
+    mods = u.mod_attrs()
+    for p in parents:
+        used = p.used_attrs()
+        if (ALL_COLUMNS in mods and used) or (ALL_COLUMNS in used and mods):
+            return 0
+        if mods & used:
+            return 0
+    if u.args.get("_pp_conj_done"):
+        return 0
+
+    base = u.inputs[0]
+    for side in u.inputs[1:]:
+        if not _elementwise_over(side, base):
+            return 0
+
+    first_mask = parents[0].inputs[1]
+    if all(structurally_equal(p.inputs[1], first_mask) for p in parents[1:]):
+        # Same filter everywhere: push one below, drop the parents.
+        new_mask = _rebase(first_mask, old=u, new=base)
+        new_filter = Node("filter", inputs=[base, new_mask], label=parents[0].label)
+        u.replace_input(base, new_filter)
+        for i in range(1, len(u.inputs)):
+            u.inputs[i] = _rebase(u.inputs[i], old=base, new=new_filter)
+        for p in parents:
+            _alias(p, u)
+        return len(parents)
+
+    # Different predicates: push the conjunction below, keep originals.
+    conj: Optional[Node] = None
+    for p in parents:
+        rebased = _rebase(p.inputs[1], old=u, new=base)
+        conj = rebased if conj is None else Node(
+            "binop", inputs=[conj, rebased], args={"op": "&"}, label="and"
+        )
+    new_filter = Node("filter", inputs=[base, conj], label="pushed_conjunction")
+    u.replace_input(base, new_filter)
+    for i in range(1, len(u.inputs)):
+        u.inputs[i] = _rebase(u.inputs[i], old=base, new=new_filter)
+    u.args["_pp_conj_done"] = True  # avoid re-pushing every pass
+    return 1
+
+
+def structurally_equal(a: Node, b: Node) -> bool:
+    """Recursive structural comparison of two expression subgraphs."""
+    if a is b:
+        return True
+    if a.op != b.op or len(a.inputs) != len(b.inputs):
+        return False
+    try:
+        if {k: repr(v) for k, v in a.args.items()} != {
+            k: repr(v) for k, v in b.args.items()
+        }:
+            return False
+    except Exception:  # pragma: no cover - unreprable args
+        return False
+    return all(
+        structurally_equal(x, y) for x, y in zip(a.inputs, b.inputs)
+    )

@@ -1,0 +1,166 @@
+"""Runtime projection pushdown: narrow ``read_csv`` to needed columns.
+
+Static analysis (section 3.1) already injects ``usecols`` where the whole
+program is analysable.  This runtime pass is the complement for graphs
+built purely dynamically: it propagates a *required-column* set backward
+from the roots to each source, with per-operator transfer functions, and
+sets ``usecols`` on sources whose requirement set is closed (no
+whole-frame escape).
+
+Conservative by construction: any operator whose column flow is unknown
+(merge outputs, UDF apply, prints of whole frames, describe, ...) marks
+its frame inputs as requiring *all* columns.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Set
+
+from repro.graph.node import ALL_COLUMNS, Node, series_used_columns
+from repro.graph.taskgraph import collect_subgraph, topological_order
+
+#: Operators through which the requirement set passes untouched.
+_PASSTHROUGH = {
+    "filter", "dropna", "head", "tail", "sample", "sort_index",
+    "drop_duplicates", "sort_values", "fillna", "astype", "round",
+    "identity", "abs",
+}
+
+
+def push_down_projections(roots: Sequence[Node]) -> int:
+    """Set ``usecols`` on eligible sources; returns how many were narrowed."""
+    nodes = collect_subgraph(roots)
+    required = _required_columns(roots, nodes)
+    narrowed = 0
+    for node in nodes:
+        if node.op != "read_csv" or node.args.get("usecols") is not None:
+            continue
+        needs = required.get(node.id)
+        if needs is None or ALL_COLUMNS in needs:
+            continue
+        if not needs:
+            continue  # degenerate; leave untouched
+        node.args["usecols"] = sorted(needs)
+        narrowed += 1
+    return narrowed
+
+
+def _required_columns(
+    roots: Sequence[Node], nodes: Sequence[Node]
+) -> Dict[int, Set[str]]:
+    """Backward column-requirement propagation (reverse topological)."""
+    required: Dict[int, Set[str]] = {}
+    root_ids = {r.id for r in roots}
+    order = topological_order(roots)
+
+    def demand(node: Node, cols: Set[str]) -> None:
+        bucket = required.setdefault(node.id, set())
+        bucket.update(cols)
+
+    for node in reversed(order):
+        out_req = required.get(node.id, set())
+        if node.id in root_ids and not node.spec.scalar:
+            # A root frame is handed to the user whole.
+            out_req = out_req | {ALL_COLUMNS}
+
+        op = node.op
+        if op in ("read_csv", "from_data"):
+            continue
+        if op == "getitem_column":
+            demand(node.inputs[0], {node.args["column"]})
+            _demand_rest(node, demand, start=1)
+            continue
+        if op == "getitem_columns":
+            demand(node.inputs[0], set(node.args["columns"]))
+            continue
+        if op in _PASSTHROUGH:
+            frame = node.inputs[0]
+            extra = node.used_attrs()
+            demand(frame, out_req | extra)
+            _demand_rest(node, demand, start=1)
+            continue
+        if op == "setitem":
+            assigned = node.args["column"]
+            passed = {c for c in out_req if c != assigned}
+            demand(node.inputs[0], passed)
+            _demand_rest(node, demand, start=1)
+            continue
+        if op in ("rename", "drop"):
+            if op == "rename":
+                inverse = {v: k for k, v in node.args["columns"].items()}
+                passed = {inverse.get(c, c) for c in out_req}
+            else:
+                passed = set(out_req)
+            demand(node.inputs[0], passed)
+            continue
+        if op == "groupby_agg":
+            demand(
+                node.inputs[0],
+                set(node.args["keys"]) | {node.args["column"]},
+            )
+            continue
+        if op in ("groupby_agg_multi",):
+            demand(
+                node.inputs[0],
+                set(node.args["keys"]) | set(node.args.get("columns", [])),
+            )
+            continue
+        if op == "groupby_size":
+            demand(node.inputs[0], set(node.args["keys"]))
+            continue
+        if op in (
+            "binop", "unop", "str_method", "dt_field", "isin", "between",
+            "isna", "notna", "series_fillna", "series_astype", "series_map",
+            "to_datetime", "series_agg", "series_len", "nunique", "unique",
+            "value_counts", "to_frame_series",
+        ):
+            # Series-level: inputs are series nodes, handled transitively.
+            for inp in node.inputs:
+                demand(inp, set())
+            continue
+        if op == "print":
+            for inp in node.inputs:
+                demand(inp, _print_demand(inp))
+            continue
+        # Unknown / whole-frame consumers: merge, concat, describe, apply,
+        # info, to_csv, nlargest*, reset/set_index, ...
+        for inp in node.inputs:
+            if _is_frame_producer(inp):
+                demand(inp, {ALL_COLUMNS})
+            else:
+                demand(inp, set())
+    return required
+
+
+def _demand_rest(node: Node, demand, start: int) -> None:
+    for inp in node.inputs[start:]:
+        demand(inp, set())
+
+
+def _print_demand(node: Node) -> Set[str]:
+    """What printing ``node``'s value demands of it.
+
+    Mirrors the paper's heuristic (section 3.1): informative calls --
+    ``head()``, ``describe()``, ``info()`` -- do not make all attributes
+    live, since their output "does not affect the intended program
+    result"; a print of a whole frame does.
+    """
+    if node.op in ("head", "tail", "describe", "info"):
+        return set()
+    if _is_frame_producer(node):
+        return {ALL_COLUMNS}
+    return set()
+
+
+_FRAME_OPS = {
+    "read_csv", "from_data", "getitem_columns", "filter", "setitem",
+    "dropna", "fillna", "astype", "rename", "drop", "sort_values",
+    "sort_index", "drop_duplicates", "head", "tail", "sample", "merge",
+    "concat", "nlargest", "nsmallest", "describe", "reset_index",
+    "set_index", "round", "abs", "identity", "groupby_agg_multi",
+    "to_frame_series",
+}
+
+
+def _is_frame_producer(node: Node) -> bool:
+    return node.op in _FRAME_OPS

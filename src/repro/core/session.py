@@ -1,0 +1,187 @@
+"""LaFP session: backend selection, compute orchestration, lazy-print state.
+
+One session exists per program run (reset between benchmark runs).  It
+owns:
+
+- the chosen backend (``pandas`` / ``dask`` / ``modin``; default ``dask``
+  as in section 2.6),
+- the chain of pending lazy-print nodes (section 3.3),
+- the set of persisted nodes from previous ``compute(live_df=...)`` calls
+  (section 3.5), released once no longer live,
+- optimization flags (used by the ablation benchmarks),
+- the node registry that resolves f-string escape markers back to nodes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence
+
+from repro.backends import Backend, get_backend
+from repro.graph import Executor, Node, collect_subgraph
+
+
+#: Hooks run before every compute/flush (the facade registers one that
+#: propagates the module-level ``BACKEND_ENGINE`` choice).
+SYNC_HOOKS: List = []
+
+
+@dataclasses.dataclass
+class OptimizationFlags:
+    """Toggles for each runtime optimization (ablation knobs)."""
+
+    predicate_pushdown: bool = True
+    common_subexpression: bool = True
+    projection_pushdown: bool = True
+    metadata: bool = True
+    caching: bool = True  # live_df-driven persistence (section 3.5)
+
+
+class Session:
+    """Holds the lazily-built task graph's runtime state."""
+
+    def __init__(self, backend: str = "dask"):
+        self.backend_name = backend
+        self._backend: Optional[Backend] = None
+        self.flags = OptimizationFlags()
+        self.last_print: Optional[Node] = None
+        self.pending_prints: List[Node] = []
+        self.node_registry: Dict[int, Node] = {}
+        self.persisted: List[Node] = []
+        self.metastore = None  # set lazily; tests may inject one
+        self.stats = {"computes": 0, "nodes_executed": 0}
+
+    # -- backend ------------------------------------------------------------
+
+    @property
+    def backend(self) -> Backend:
+        if self._backend is None or self._backend.name != self.backend_name:
+            self._backend = get_backend(self.backend_name)
+        return self._backend
+
+    def set_backend(self, name: str) -> None:
+        self.backend_name = name
+        self._backend = None
+
+    # -- node bookkeeping -------------------------------------------------------
+
+    def register(self, node: Node) -> Node:
+        self.node_registry[node.id] = node
+        return node
+
+    def add_print(self, node: Node) -> None:
+        """Chain a lazy print for deterministic output order."""
+        if self.last_print is not None:
+            node.order_deps.append(self.last_print)
+        self.last_print = node
+        self.pending_prints.append(node)
+
+    # -- computation ---------------------------------------------------------------
+
+    def compute(self, node: Node, live_df: Optional[Sequence] = None):
+        """Force ``node`` (and pending prints), with live_df persistence.
+
+        Pending lazy prints execute first (ordering edges keep them in
+        program order) -- this is the paper's rule that forced computation
+        processes pending prints so external output does not interleave
+        wrongly (section 3.4).
+        """
+        live_nodes = _live_nodes(live_df)
+        roots = [p for p in self.pending_prints] + [node]
+        results = self._run(roots, live_nodes)
+        self.pending_prints.clear()
+        return results[-1]
+
+    def flush(self) -> None:
+        """Execute all pending lazy prints (the ``pd.flush()`` of Fig. 8)."""
+        if not self.pending_prints:
+            return
+        roots = list(self.pending_prints)
+        self._run(roots, live_nodes=[])
+        self.pending_prints.clear()
+
+    def _run(self, roots: List[Node], live_nodes: List[Node]):
+        from repro.core.optimizer import optimize
+
+        for hook in SYNC_HOOKS:
+            hook()
+        # Optimization is transactional: the rules rewire the shared graph
+        # for *this* execution (like Dask optimizing a copy of its graph),
+        # then the original wiring is restored -- later computations may
+        # demand columns or rows this execution's rewrites pruned away.
+        # Results survive restoration: a node's value is the same in the
+        # optimized and original graphs.
+        snapshot = self._snapshot(roots)
+        try:
+            optimize(roots, self, live_nodes=live_nodes)
+            executor = Executor(self.backend)
+            results = executor.execute(roots)
+        finally:
+            self._restore(snapshot)
+        self.stats["computes"] += 1
+        self._release_dead_persists(live_nodes)
+        return results
+
+    @staticmethod
+    def _snapshot(roots: List[Node]):
+        nodes = collect_subgraph(roots)
+        return [
+            (node, node.op, list(node.inputs), dict(node.args), list(node.order_deps))
+            for node in nodes
+        ]
+
+    @staticmethod
+    def _restore(snapshot) -> None:
+        for node, op, inputs, args, order_deps in snapshot:
+            node.op = op
+            node.inputs = inputs
+            node.args = args
+            node.order_deps = order_deps
+
+    def _release_dead_persists(self, live_nodes: List[Node]) -> None:
+        """Drop persisted results that no live dataframe still references
+        (section 3.5: persisted frames are discarded after their last use).
+        """
+        still_live = set()
+        if live_nodes:
+            for live in live_nodes:
+                still_live.update(n.id for n in collect_subgraph([live]))
+        survivors = []
+        for node in self.persisted:
+            if node.id in still_live:
+                survivors.append(node)
+            else:
+                node.persist = False
+                node.clear_result()
+        self.persisted = survivors
+
+
+_session: Optional[Session] = None
+
+
+def get_session() -> Session:
+    global _session
+    if _session is None:
+        _session = Session()
+    return _session
+
+
+def reset_session(backend: str = "dask") -> Session:
+    """Fresh session (used between programs and benchmark runs)."""
+    global _session
+    _session = Session(backend=backend)
+    return _session
+
+
+def _live_nodes(live_df) -> List[Node]:
+    """Unwrap lazy wrappers / raw nodes passed as ``live_df``."""
+    if not live_df:
+        return []
+    nodes = []
+    for item in live_df:
+        node = getattr(item, "_node", None)
+        if node is None and isinstance(item, Node):
+            node = item
+        if node is not None:
+            nodes.append(node)
+    return nodes

@@ -1,0 +1,41 @@
+"""An eager, columnar, in-memory dataframe engine (the pandas stand-in).
+
+The paper layers LaFP over pandas; pandas is unavailable offline, so this
+package implements the subset of the dataframe model that the paper's
+benchmark programs and optimizations exercise:
+
+- columnar storage on NumPy with per-buffer memory accounting,
+- ``read_csv`` with ``usecols`` / ``dtype`` / ``parse_dates`` / ``nrows``
+  (the knobs LaFP's column-selection and metadata optimizations drive),
+- boolean-mask filtering, column get/set, elementwise and comparison ops,
+- ``.str`` and ``.dt`` accessors,
+- ``groupby`` aggregation, hash-join ``merge``, ``concat``, ``sort_values``,
+  ``drop_duplicates``, missing-data handling,
+- ``category`` dtype (the space optimization of section 3.6).
+
+Eager whole-frame semantics are intentional: each operation materializes a
+new frame, exactly the behaviour LaFP's lazy DAG is designed to improve on.
+"""
+
+from repro.frame.column import Column
+from repro.frame.dtypes import CategoricalDtype, normalize_dtype
+from repro.frame.index import Index, RangeIndex
+from repro.frame.series import Series
+from repro.frame.dataframe import DataFrame
+from repro.frame.concat import concat
+from repro.frame.merge import merge
+from repro.frame.io_csv import read_csv, to_datetime
+
+__all__ = [
+    "CategoricalDtype",
+    "Column",
+    "DataFrame",
+    "Index",
+    "RangeIndex",
+    "Series",
+    "concat",
+    "merge",
+    "normalize_dtype",
+    "read_csv",
+    "to_datetime",
+]

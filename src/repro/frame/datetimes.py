@@ -1,0 +1,88 @@
+"""``.dt`` accessor: datetime component extraction.
+
+The benchmark programs derive features like day-of-week from pickup
+timestamps (Figure 3 line 6).  Components are computed with NumPy
+datetime64 arithmetic -- no Python-level loops.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.series import Series
+
+_EPOCH_DOW = 3  # 1970-01-01 was a Thursday (Monday=0), as in pandas
+
+
+class DatetimeAccessor:
+    """Vectorized datetime component access for a Series."""
+
+    def __init__(self, series: Series):
+        if series.column.values.dtype.kind != "M":
+            raise AttributeError(".dt accessor requires datetime64 values")
+        self._series = series
+        self._values = series.column.values.astype("datetime64[ns]")
+
+    def _wrap(self, values: np.ndarray) -> Series:
+        return Series(
+            Column(values.astype(np.int64)),
+            index=self._series.index,
+            name=self._series.name,
+        )
+
+    @property
+    def year(self) -> Series:
+        return self._wrap(self._values.astype("datetime64[Y]").astype(np.int64) + 1970)
+
+    @property
+    def month(self) -> Series:
+        months = self._values.astype("datetime64[M]").astype(np.int64)
+        return self._wrap(months % 12 + 1)
+
+    @property
+    def day(self) -> Series:
+        days = (
+            self._values.astype("datetime64[D]")
+            - self._values.astype("datetime64[M]").astype("datetime64[D]")
+        ).astype(np.int64)
+        return self._wrap(days + 1)
+
+    @property
+    def hour(self) -> Series:
+        hours = self._values.astype("datetime64[h]").astype(np.int64)
+        return self._wrap(hours % 24)
+
+    @property
+    def minute(self) -> Series:
+        minutes = self._values.astype("datetime64[m]").astype(np.int64)
+        return self._wrap(minutes % 60)
+
+    @property
+    def second(self) -> Series:
+        seconds = self._values.astype("datetime64[s]").astype(np.int64)
+        return self._wrap(seconds % 60)
+
+    @property
+    def dayofweek(self) -> Series:
+        """Monday=0 .. Sunday=6, matching pandas."""
+        days = self._values.astype("datetime64[D]").astype(np.int64)
+        return self._wrap((days + _EPOCH_DOW) % 7)
+
+    weekday = dayofweek
+
+    @property
+    def date(self) -> Series:
+        return Series(
+            Column(self._values.astype("datetime64[D]").astype("datetime64[ns]")),
+            index=self._series.index,
+            name=self._series.name,
+        )
+
+    @property
+    def dayofyear(self) -> Series:
+        years = self._values.astype("datetime64[Y]")
+        days = (
+            self._values.astype("datetime64[D]") - years.astype("datetime64[D]")
+        ).astype(np.int64)
+        return self._wrap(days + 1)

@@ -1,0 +1,298 @@
+"""Group-by aggregation.
+
+Implements the split-apply-combine subset the benchmark programs use:
+
+- ``df.groupby(keys)[col].sum()/mean()/count()/min()/max()`` -> Series,
+- ``df.groupby(keys).agg({col: fn, ...})`` -> DataFrame,
+- ``df.groupby(keys).size()`` -> Series.
+
+Grouping factorizes the key tuple to dense codes (see
+:func:`repro.frame.dataframe._row_group_codes`) and aggregates with
+``np.bincount`` / ``ufunc.at`` -- no Python-level loops over rows.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Union
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.dataframe import DataFrame, _row_group_codes
+from repro.frame.index import Index
+from repro.frame.series import Series
+
+_AGG_NAMES = ("sum", "mean", "count", "min", "max", "size", "std", "first", "nunique")
+
+
+class GroupBy:
+    """Grouped view of a frame; aggregation methods trigger computation."""
+
+    def __init__(self, frame: DataFrame, keys: Sequence[str], as_index: bool = True):
+        missing = [k for k in keys if k not in frame.columns]
+        if missing:
+            raise KeyError(missing)
+        self._frame = frame
+        self._keys = list(keys)
+        self._as_index = as_index
+        self._codes = None
+        self._uniques = None
+
+    # -- factorization -----------------------------------------------------
+
+    def _factorize(self):
+        """Dense group codes over non-NA-key rows (pandas drops NA keys).
+
+        Returns ``(codes, first_positions, n_groups)`` where ``codes`` is
+        -1 for rows whose key contains NA.
+        """
+        if self._codes is None:
+            valid = np.ones(len(self._frame), dtype=bool)
+            for key in self._keys:
+                valid &= ~self._frame.column(key).isna()
+            raw = _row_group_codes(self._frame, self._keys)
+            uniques, dense = np.unique(raw[valid], return_inverse=True)
+            codes = np.full(len(self._frame), -1, dtype=np.int64)
+            codes[valid] = dense
+            positions = np.nonzero(valid)[0]
+            first_positions = positions[
+                np.unique(dense, return_index=True)[1]
+            ]
+            self._codes = codes
+            self._first_positions = first_positions
+            self._n_groups = len(uniques)
+        return self._codes, self._first_positions, self._n_groups
+
+    def _key_columns(self) -> Dict[str, Column]:
+        _, first, _ = self._factorize()
+        return {
+            name: self._frame.column(name).take(first) for name in self._keys
+        }
+
+    def _key_index(self) -> Index:
+        """Index of group-key values (tuples joined for multi-key)."""
+        key_cols = self._key_columns()
+        if len(self._keys) == 1:
+            values = key_cols[self._keys[0]].to_array()
+            return Index(values, name=self._keys[0])
+        arrays = [key_cols[k].to_array().astype(str) for k in self._keys]
+        labels = np.array(
+            ["|".join(parts) for parts in zip(*arrays)], dtype=object
+        )
+        return Index(labels, name="|".join(self._keys))
+
+    # -- column selection -----------------------------------------------------
+
+    def __getitem__(self, key: Union[str, List[str]]):
+        if isinstance(key, str):
+            return SeriesGroupBy(self, key)
+        return FrameGroupBy(self, list(key))
+
+    # -- frame-level aggregations ------------------------------------------------
+
+    def size(self) -> Series:
+        codes, _, n_groups = self._factorize()
+        counts = np.bincount(codes[codes >= 0], minlength=n_groups).astype(np.int64)
+        return Series(Column(counts), index=self._key_index(), name="size")
+
+    def agg(self, spec: Dict[str, Union[str, Sequence[str]]]) -> DataFrame:
+        """Aggregate several columns at once; returns key cols + agg cols."""
+        codes, _, n_groups = self._factorize()
+        out: Dict[str, Column] = {}
+        if not self._as_index:
+            out.update(self._key_columns())
+        for name, funcs in spec.items():
+            func_list = [funcs] if isinstance(funcs, str) else list(funcs)
+            for func in func_list:
+                values = _aggregate(
+                    self._frame.column(name), codes, n_groups, func
+                )
+                label = name if len(func_list) == 1 else f"{name}_{func}"
+                out[label] = Column.from_values(values)
+        index = self._key_index() if self._as_index else None
+        return DataFrame.from_columns(out, index=index)
+
+    def __getattr__(self, name: str):
+        if name in _AGG_NAMES:
+            def _apply_all(*args, **kwargs):
+                numeric = [
+                    c
+                    for c in self._frame.columns
+                    if c not in self._keys
+                ]
+                return self.agg({c: name for c in numeric})
+
+            return _apply_all
+        raise AttributeError(name)
+
+
+class SeriesGroupBy:
+    """``df.groupby(keys)[col]`` -- single-column aggregation target."""
+
+    def __init__(self, parent: GroupBy, column: str):
+        if column not in parent._frame.columns:
+            raise KeyError(column)
+        self._parent = parent
+        self._column = column
+
+    def _agg(self, func: str) -> Series:
+        codes, _, n_groups = self._parent._factorize()
+        values = _aggregate(
+            self._parent._frame.column(self._column), codes, n_groups, func
+        )
+        return Series(
+            Column.from_values(values),
+            index=self._parent._key_index(),
+            name=self._column,
+        )
+
+    def sum(self) -> Series:
+        return self._agg("sum")
+
+    def mean(self) -> Series:
+        return self._agg("mean")
+
+    def count(self) -> Series:
+        return self._agg("count")
+
+    def min(self) -> Series:
+        return self._agg("min")
+
+    def max(self) -> Series:
+        return self._agg("max")
+
+    def std(self) -> Series:
+        return self._agg("std")
+
+    def size(self) -> Series:
+        return self._agg("size")
+
+    def first(self) -> Series:
+        return self._agg("first")
+
+    def nunique(self) -> Series:
+        return self._agg("nunique")
+
+    def agg(self, func: str) -> Series:
+        return self._agg(func)
+
+
+class FrameGroupBy:
+    """``df.groupby(keys)[[c1, c2]]`` -- multi-column aggregation target."""
+
+    def __init__(self, parent: GroupBy, columns: List[str]):
+        self._parent = parent
+        self._columns = columns
+
+    def _agg_all(self, func: str) -> DataFrame:
+        return self._parent.agg({c: func for c in self._columns})
+
+    def sum(self) -> DataFrame:
+        return self._agg_all("sum")
+
+    def mean(self) -> DataFrame:
+        return self._agg_all("mean")
+
+    def count(self) -> DataFrame:
+        return self._agg_all("count")
+
+    def min(self) -> DataFrame:
+        return self._agg_all("min")
+
+    def max(self) -> DataFrame:
+        return self._agg_all("max")
+
+    def agg(self, spec) -> DataFrame:
+        if isinstance(spec, str):
+            return self._agg_all(spec)
+        return self._parent.agg(spec)
+
+
+def _aggregate(column: Column, codes: np.ndarray, n_groups: int, func: str) -> np.ndarray:
+    """Aggregate one column by group codes (code -1 = NA key, dropped)."""
+    if (codes < 0).any():
+        keep = codes >= 0
+        column = column.filter(keep)
+        codes = codes[keep]
+    if func == "size":
+        return np.bincount(codes, minlength=n_groups).astype(np.int64)
+
+    isna = column.isna()
+    if func == "count":
+        return np.bincount(codes[~isna], minlength=n_groups).astype(np.int64)
+
+    if func == "nunique":
+        values = column.to_array() if column.is_category else column.values
+        out = np.zeros(n_groups, dtype=np.int64)
+        seen: dict = {}
+        for code, value, na in zip(codes, values, isna):
+            if na:
+                continue
+            bucket = seen.setdefault(int(code), set())
+            bucket.add(value)
+        for code, bucket in seen.items():
+            out[code] = len(bucket)
+        return out
+
+    if func == "first":
+        values = column.to_array() if column.is_category else column.values
+        _, first_positions = np.unique(codes, return_index=True)
+        out = np.empty(n_groups, dtype=values.dtype)
+        out[np.unique(codes)] = values[first_positions]
+        return out
+
+    values = column.values
+    if column.is_category or values.dtype.kind == "O":
+        raise TypeError(
+            f"cannot {func} non-numeric column; use count/size/first/nunique"
+        )
+    if values.dtype.kind == "M":
+        if func not in ("min", "max"):
+            raise TypeError(f"cannot {func} datetime column")
+        ints = values.view("int64")
+        out = _minmax(ints, codes, n_groups, func)
+        return out.view(values.dtype)
+
+    work = values.astype(np.float64, copy=False)
+    valid = ~isna
+    if func == "sum":
+        out = np.bincount(codes[valid], weights=work[valid], minlength=n_groups)
+        if values.dtype.kind in "ib":
+            return out.astype(np.int64)
+        return out
+    if func == "mean":
+        sums = np.bincount(codes[valid], weights=work[valid], minlength=n_groups)
+        counts = np.bincount(codes[valid], minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            return sums / counts
+    if func in ("min", "max"):
+        out = _minmax(work[valid], codes[valid], n_groups, func)
+        if values.dtype.kind == "i" and not np.isnan(out).any():
+            return out.astype(np.int64)
+        return out
+    if func == "std":
+        sums = np.bincount(codes[valid], weights=work[valid], minlength=n_groups)
+        sq = np.bincount(codes[valid], weights=work[valid] ** 2, minlength=n_groups)
+        counts = np.bincount(codes[valid], minlength=n_groups)
+        with np.errstate(invalid="ignore", divide="ignore"):
+            mean = sums / counts
+            var = (sq / counts - mean**2) * (counts / np.maximum(counts - 1, 1))
+        var = np.where(counts > 1, np.maximum(var, 0.0), np.nan)
+        return np.sqrt(var)
+    raise ValueError(f"unsupported aggregate {func!r}")
+
+
+def _minmax(values: np.ndarray, codes: np.ndarray, n_groups: int, func: str) -> np.ndarray:
+    if values.dtype.kind == "f":
+        init = np.inf if func == "min" else -np.inf
+        out = np.full(n_groups, init, dtype=np.float64)
+        op = np.minimum if func == "min" else np.maximum
+        op.at(out, codes, values)
+        out[np.isinf(out)] = np.nan
+        return out
+    info = np.iinfo(np.int64)
+    init = info.max if func == "min" else info.min
+    out = np.full(n_groups, init, dtype=np.int64)
+    op = np.minimum if func == "min" else np.maximum
+    op.at(out, codes, values)
+    return out

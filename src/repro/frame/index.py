@@ -1,0 +1,97 @@
+"""Row index objects.
+
+Two kinds suffice for the paper's workloads:
+
+- :class:`RangeIndex` -- the default positional index (constant space),
+- :class:`Index` -- materialized labels (produced by filters, groupbys,
+  ``set_index``); stored as a plain NumPy array.
+
+Row order *matters* for the pandas and Modin stand-ins; the Dask stand-in
+deliberately does not preserve it (the paper calls this out as Dask's
+fundamental difference).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class RangeIndex:
+    """Lazy 0..n-1 positional index."""
+
+    __slots__ = ("size",)
+
+    def __init__(self, size: int):
+        self.size = int(size)
+
+    def __len__(self) -> int:
+        return self.size
+
+    def to_array(self) -> np.ndarray:
+        return np.arange(self.size, dtype=np.int64)
+
+    def take(self, indices: np.ndarray) -> "Index":
+        return Index(self.to_array()[indices])
+
+    def filter(self, mask: np.ndarray) -> "Index":
+        return Index(np.nonzero(mask)[0].astype(np.int64))
+
+    @property
+    def name(self) -> Optional[str]:
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"RangeIndex({self.size})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, RangeIndex):
+            return self.size == other.size
+        if isinstance(other, Index):
+            return bool(np.array_equal(self.to_array(), other.values))
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(("RangeIndex", self.size))
+
+
+class Index:
+    """Materialized label index."""
+
+    __slots__ = ("values", "name")
+
+    def __init__(self, values, name: Optional[str] = None):
+        arr = np.asarray(values)
+        if arr.dtype.kind == "U":
+            arr = arr.astype(object)
+        self.values = arr
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def to_array(self) -> np.ndarray:
+        return self.values
+
+    def take(self, indices: np.ndarray) -> "Index":
+        return Index(self.values[indices], name=self.name)
+
+    def filter(self, mask: np.ndarray) -> "Index":
+        return Index(self.values[mask], name=self.name)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Index({self.values[:5]!r}..., name={self.name!r})"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (Index, RangeIndex)):
+            return bool(np.array_equal(self.values, other.to_array()))
+        return NotImplemented
+
+    def __hash__(self) -> int:  # pragma: no cover - not used as dict key
+        return hash(("Index", len(self.values)))
+
+
+def default_index(n: int) -> RangeIndex:
+    """The index a fresh frame gets."""
+    return RangeIndex(n)

@@ -1,0 +1,243 @@
+"""CSV reader/writer.
+
+``read_csv`` exposes exactly the knobs LaFP's optimizer drives:
+
+- ``usecols``      -- column-selection optimization (section 3.1),
+- ``dtype``        -- metadata-driven types, including ``category``
+                      (section 3.6),
+- ``parse_dates``  -- datetime columns,
+- ``nrows``        -- sampling for the metastore,
+- ``byte_range``   -- partitioned reads for the Dask-like backend.
+
+Parsing uses the stdlib ``csv`` module (C-accelerated); type inference
+tries int64 -> float64 -> object per column, mirroring pandas defaults
+(dates stay strings unless ``parse_dates`` asks for them -- the paper's
+metadata optimization exists precisely because inference is this naive).
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.dataframe import DataFrame
+from repro.frame.dtypes import CategoricalDtype, is_categorical, normalize_dtype
+from repro.frame.series import Series
+
+
+def read_csv(
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    dtype: Optional[Dict[str, object]] = None,
+    parse_dates: Optional[Sequence[str]] = None,
+    nrows: Optional[int] = None,
+    index_col: Optional[str] = None,
+    byte_range: Optional[Tuple[int, int]] = None,
+) -> DataFrame:
+    """Read a CSV file into a :class:`DataFrame`."""
+    header = read_header(path)
+    if usecols is not None:
+        unknown = [c for c in usecols if c not in header]
+        if unknown:
+            raise ValueError(f"usecols not in file: {unknown}")
+        wanted = [c for c in header if c in set(usecols)]
+    else:
+        wanted = list(header)
+    positions = [header.index(c) for c in wanted]
+
+    raw: List[List[str]] = [[] for _ in wanted]
+    if byte_range is None:
+        with open(path, newline="") as f:
+            reader = csv.reader(f)
+            next(reader)  # header
+            for i, row in enumerate(reader):
+                if nrows is not None and i >= nrows:
+                    break
+                for out, pos in zip(raw, positions):
+                    out.append(row[pos])
+    else:
+        for row in _iter_byte_range(path, byte_range):
+            for out, pos in zip(raw, positions):
+                out.append(row[pos])
+            if nrows is not None and len(raw[0]) >= nrows:
+                break
+
+    dtype = dtype or {}
+    parse_set = set(parse_dates or [])
+    columns: Dict[str, Column] = {}
+    for name, values in zip(wanted, raw):
+        if name in parse_set:
+            columns[name] = _parse_datetime(values)
+        elif name in dtype:
+            columns[name] = _convert_with_dtype(values, dtype[name])
+        else:
+            columns[name] = _infer_column(values)
+
+    frame = DataFrame.from_columns(columns)
+    if index_col is not None:
+        frame = frame.set_index(index_col)
+    return frame
+
+
+def read_header(path: str) -> List[str]:
+    """Column names from the first line."""
+    with open(path, newline="") as f:
+        return next(csv.reader(f))
+
+
+def scan_partitions(path: str, n_partitions: int) -> List[Tuple[int, int]]:
+    """Split the data region of a CSV into ~equal byte ranges.
+
+    Ranges are aligned downstream to newline boundaries by the reader, so
+    every row lands in exactly one partition.
+    """
+    size = os.path.getsize(path)
+    with open(path, "rb") as f:
+        f.readline()  # header
+        data_start = f.tell()
+    n_partitions = max(1, n_partitions)
+    span = max(1, (size - data_start) // n_partitions)
+    ranges = []
+    start = data_start
+    for i in range(n_partitions):
+        end = size if i == n_partitions - 1 else min(size, start + span)
+        if start >= size:
+            break
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+def _iter_byte_range(path: str, byte_range: Tuple[int, int]):
+    """Yield parsed rows whose *start offset* lies in [start, end).
+
+    Standard partitioned-CSV convention: a reader seeks to ``start``,
+    discards the (possibly partial) line in progress unless at a line
+    boundary, then reads rows until its position passes ``end``.
+    """
+    start, end = byte_range
+    with open(path, "rb") as f:
+        f.seek(start)
+        if start > 0:
+            f.seek(start - 1)
+            if f.read(1) != b"\n":
+                f.readline()  # finish the partial line; it belongs upstream
+        while f.tell() < end:
+            line = f.readline()
+            if not line:
+                break
+            text = line.decode("utf-8").rstrip("\r\n")
+            if text:
+                yield next(csv.reader([text]))
+
+
+def _infer_column(values: List[str]) -> Column:
+    """int64 -> float64 -> object inference with '' as NA."""
+    has_empty = any(v == "" for v in values)
+    if not has_empty:
+        try:
+            return Column(np.asarray(values, dtype=np.int64))
+        except (ValueError, OverflowError):
+            pass
+    try:
+        arr = np.asarray(
+            [("nan" if v == "" else v) for v in values], dtype=np.float64
+        )
+        return Column(arr)
+    except ValueError:
+        pass
+    obj = np.asarray(values, dtype=object)
+    if has_empty:
+        obj = np.where(obj == "", None, obj)
+    return Column(obj)
+
+
+def _convert_with_dtype(values: List[str], dtype_spec) -> Column:
+    target = normalize_dtype(dtype_spec)
+    if is_categorical(target):
+        arr = np.asarray(values, dtype=object)
+        arr = np.where(arr == "", None, arr)
+        col = Column.from_strings_as_category(arr)
+        if isinstance(target, CategoricalDtype) and target.categories is not None:
+            # Re-encode against the declared category set.
+            return Column.from_values(col.to_array(), dtype=target)
+        return col
+    if target.kind == "f":
+        arr = np.asarray(
+            [("nan" if v == "" else v) for v in values], dtype=np.float64
+        )
+        return Column(arr)
+    if target.kind == "i":
+        try:
+            return Column(np.asarray(values, dtype=np.int64))
+        except ValueError:
+            # NA present: silently promote, as pandas does for int columns.
+            arr = np.asarray(
+                [("nan" if v == "" else v) for v in values], dtype=np.float64
+            )
+            return Column(arr)
+    if target.kind == "M":
+        return _parse_datetime(values)
+    if target.kind == "b":
+        arr = np.asarray(
+            [v in ("True", "true", "1") for v in values], dtype=bool
+        )
+        return Column(arr)
+    obj = np.asarray(values, dtype=object)
+    obj = np.where(obj == "", None, obj)
+    return Column(obj)
+
+
+def _parse_datetime(values: List[str]) -> Column:
+    cleaned = ["NaT" if v == "" else v for v in values]
+    arr = np.asarray(cleaned, dtype="datetime64[ns]")
+    return Column(arr)
+
+
+def to_datetime(data: Union[Series, Sequence[str]]) -> Series:
+    """Parse strings (ISO format) into a datetime64 series."""
+    if isinstance(data, Series):
+        values = data.column.to_array()
+        cleaned = ["NaT" if (v is None or v == "") else str(v) for v in values]
+        return Series(
+            Column(np.asarray(cleaned, dtype="datetime64[ns]")),
+            index=data.index,
+            name=data.name,
+        )
+    cleaned = ["NaT" if (v is None or v == "") else str(v) for v in data]
+    return Series(Column(np.asarray(cleaned, dtype="datetime64[ns]")))
+
+
+def write_csv(frame: DataFrame, path: str, index: bool = False) -> None:
+    """Write a frame to CSV (NA as empty string, datetimes in ISO)."""
+    arrays = [frame.column(name).to_array() for name in frame.columns]
+    with open(path, "w", newline="") as f:
+        writer = csv.writer(f)
+        header = frame.columns
+        if index:
+            header = ["index", *header]
+        writer.writerow(header)
+        labels = frame.index.to_array() if index else None
+        for i in range(len(frame)):
+            row = [_cell(a[i]) for a in arrays]
+            if index:
+                row.insert(0, _cell(labels[i]))
+            writer.writerow(row)
+
+
+def _cell(value) -> str:
+    if value is None:
+        return ""
+    if isinstance(value, float) and np.isnan(value):
+        return ""
+    if isinstance(value, np.datetime64):
+        if np.isnat(value):
+            return ""
+        return str(value.astype("datetime64[s]")).replace("T", " ")
+    if isinstance(value, np.floating) and np.isnan(value):
+        return ""
+    return str(value)

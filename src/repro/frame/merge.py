@@ -1,0 +1,150 @@
+"""Hash-join merge.
+
+Supports ``how`` in {inner, left, right, outer} with ``on`` /
+``left_on`` / ``right_on`` single- or multi-column keys -- the join shapes
+the benchmark programs (`mov`, `fdb`, `stu`) use.
+
+Algorithm: build a hash table on the right side's key tuples, probe with
+the left side, emit matching row-index pairs, then gather both sides.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.dataframe import DataFrame
+
+
+def merge(
+    left: DataFrame,
+    right: DataFrame,
+    on: Optional[Union[str, Sequence[str]]] = None,
+    left_on: Optional[Union[str, Sequence[str]]] = None,
+    right_on: Optional[Union[str, Sequence[str]]] = None,
+    how: str = "inner",
+    suffixes: Tuple[str, str] = ("_x", "_y"),
+) -> DataFrame:
+    """Join two frames on equality of key columns."""
+    if how not in ("inner", "left", "right", "outer"):
+        raise ValueError(f"unsupported how={how!r}")
+    left_keys, right_keys = _resolve_keys(left, right, on, left_on, right_on)
+
+    left_idx, right_idx = _match_rows(left, right, left_keys, right_keys, how)
+
+    same_key = left_keys == right_keys
+    out: Dict[str, Column] = {}
+    right_drop = set(right_keys) if same_key else set()
+    overlap = (set(left.columns) & set(right.columns)) - (
+        set(left_keys) if same_key else set()
+    )
+
+    for name in left.columns:
+        label = name + suffixes[0] if name in overlap else name
+        out[label] = _gather(left.column(name), left_idx)
+    for name in right.columns:
+        if name in right_drop:
+            continue
+        label = name + suffixes[1] if name in overlap else name
+        out[label] = _gather(right.column(name), right_idx)
+
+    # For right/outer joins the left key gather may contain NA slots that
+    # the right side can fill (same-name keys only).
+    if same_key and how in ("right", "outer"):
+        for key in left_keys:
+            filled = _fill_key(
+                left.column(key), left_idx, right.column(key), right_idx
+            )
+            out[key] = filled
+
+    return DataFrame.from_columns(out)
+
+
+def _resolve_keys(left, right, on, left_on, right_on) -> Tuple[List[str], List[str]]:
+    if on is not None:
+        keys = [on] if isinstance(on, str) else list(on)
+        return keys, keys
+    if left_on is not None and right_on is not None:
+        lk = [left_on] if isinstance(left_on, str) else list(left_on)
+        rk = [right_on] if isinstance(right_on, str) else list(right_on)
+        if len(lk) != len(rk):
+            raise ValueError("left_on and right_on must have equal length")
+        return lk, rk
+    common = [c for c in left.columns if c in set(right.columns)]
+    if not common:
+        raise ValueError("no common columns to merge on")
+    return common, common
+
+
+def _key_tuples(frame: DataFrame, keys: Sequence[str]) -> List[tuple]:
+    arrays = [frame.column(k).to_array() for k in keys]
+    return list(zip(*arrays)) if arrays else []
+
+
+def _match_rows(left, right, left_keys, right_keys, how):
+    """Emit aligned row-position arrays; -1 marks a non-match (NA side)."""
+    table: Dict[tuple, List[int]] = {}
+    for pos, key in enumerate(_key_tuples(right, right_keys)):
+        table.setdefault(key, []).append(pos)
+
+    left_out: List[int] = []
+    right_out: List[int] = []
+    matched_right = np.zeros(len(right), dtype=bool)
+    for pos, key in enumerate(_key_tuples(left, left_keys)):
+        hits = table.get(key)
+        if hits:
+            for hit in hits:
+                left_out.append(pos)
+                right_out.append(hit)
+                matched_right[hit] = True
+        elif how in ("left", "outer"):
+            left_out.append(pos)
+            right_out.append(-1)
+
+    if how in ("right", "outer"):
+        for pos in np.nonzero(~matched_right)[0]:
+            left_out.append(-1)
+            right_out.append(int(pos))
+
+    return (
+        np.asarray(left_out, dtype=np.int64),
+        np.asarray(right_out, dtype=np.int64),
+    )
+
+
+def _gather(column: Column, indices: np.ndarray) -> Column:
+    """Gather with -1 producing NA (dtype promoted as needed)."""
+    has_na = bool((indices < 0).any())
+    safe = np.where(indices < 0, 0, indices)
+    if not has_na:
+        return column.take(safe)
+    if column.is_category:
+        codes = column.values[safe].copy()
+        codes[indices < 0] = -1
+        return Column.from_codes(codes, column.categories)
+    values = column.values
+    if values.dtype.kind in "ib":
+        out = values[safe].astype(np.float64)
+        out[indices < 0] = np.nan
+        return Column(out)
+    if values.dtype.kind == "f":
+        out = values[safe].copy()
+        out[indices < 0] = np.nan
+        return Column(out)
+    if values.dtype.kind == "M":
+        out = values[safe].copy()
+        out[indices < 0] = np.datetime64("NaT")
+        return Column(out)
+    out = values[safe].astype(object)
+    out[indices < 0] = None
+    return Column(out)
+
+
+def _fill_key(left_col: Column, left_idx, right_col: Column, right_idx) -> Column:
+    """Combine key values from whichever side matched."""
+    left_vals = _gather(left_col, left_idx).to_array()
+    right_vals = _gather(right_col, right_idx).to_array()
+    out = np.where(left_idx >= 0, left_vals, right_vals)
+    return Column.from_values(out)

@@ -1,0 +1,73 @@
+"""Reshaping: melt and pivot_table.
+
+Implemented on the engine's own primitives (groupby + concat), rounding
+out the "widely used API" surface.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.dataframe import DataFrame
+
+
+def melt(
+    frame: DataFrame,
+    id_vars: Sequence[str],
+    value_vars: Optional[Sequence[str]] = None,
+    var_name: str = "variable",
+    value_name: str = "value",
+) -> DataFrame:
+    """Unpivot columns into (variable, value) rows."""
+    id_vars = list(id_vars)
+    if value_vars is None:
+        value_vars = [c for c in frame.columns if c not in set(id_vars)]
+    n = len(frame)
+    out_ids = {
+        name: np.tile(frame.column(name).to_array(), len(value_vars))
+        for name in id_vars
+    }
+    variables = np.repeat(np.asarray(value_vars, dtype=object), n)
+    values = np.concatenate(
+        [np.asarray(frame.column(c).to_array(), dtype=object) for c in value_vars]
+    ) if value_vars else np.array([], dtype=object)
+    columns = {name: Column.from_values(arr) for name, arr in out_ids.items()}
+    columns[var_name] = Column.from_values(variables)
+    columns[value_name] = Column.from_values(values)
+    return DataFrame.from_columns(columns)
+
+
+def pivot_table(
+    frame: DataFrame,
+    values: str,
+    index: str,
+    columns: str,
+    aggfunc: str = "mean",
+) -> DataFrame:
+    """Spread ``columns``'s categories into output columns of ``aggfunc``
+    aggregates, one row per ``index`` value.  NaN marks empty cells."""
+    grouped = frame.groupby([index, columns], as_index=False).agg(
+        {values: aggfunc}
+    )
+    row_keys = list(
+        dict.fromkeys(grouped.column(index).to_array().tolist())
+    )
+    col_keys = sorted(set(grouped.column(columns).to_array().tolist()), key=str)
+    position = {key: i for i, key in enumerate(row_keys)}
+
+    data = {
+        str(col): np.full(len(row_keys), np.nan) for col in col_keys
+    }
+    rows = grouped.column(index).to_array()
+    cols = grouped.column(columns).to_array()
+    vals = grouped.column(values).to_array().astype(np.float64)
+    for r, c, v in zip(rows, cols, vals):
+        data[str(c)][position[r]] = v
+
+    out = {index: Column.from_values(np.asarray(row_keys, dtype=object))}
+    for col in col_keys:
+        out[str(col)] = Column(data[str(col)])
+    return DataFrame.from_columns(out)

@@ -1,0 +1,114 @@
+"""``.str`` accessor: vectorized string methods.
+
+Operates on object-string and category columns.  Category columns get the
+cheap path: the transform runs once over the (small) categories array and
+codes are reused, which is exactly why the paper's metadata optimization
+(section 3.6) prefers category dtype for low-cardinality columns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.series import Series
+
+
+class StringAccessor:
+    """Vectorized string operations for a Series."""
+
+    def __init__(self, series: Series):
+        self._series = series
+        col = series.column
+        if not col.is_category and col.values.dtype.kind not in "OU":
+            raise AttributeError(".str accessor requires string values")
+
+    # -- internals ---------------------------------------------------------
+
+    def _map(self, func: Callable, out_dtype=None) -> Series:
+        """Apply ``func`` per element, via categories when dictionary-encoded."""
+        col = self._series.column
+        if col.is_category:
+            new_cats = np.empty(len(col.categories), dtype=object)
+            new_cats[:] = [func(c) for c in col.categories]
+            dense = np.empty(len(col.values), dtype=object)
+            valid = col.values >= 0
+            dense[valid] = new_cats[col.values[valid]]
+            dense[~valid] = None
+            values = dense
+        else:
+            # assignment into a prepared object array keeps list results
+            # one-dimensional (np.array would build a 2-D array for
+            # equal-length lists, breaking .str.split()).
+            values = np.empty(len(col.values), dtype=object)
+            values[:] = [None if v is None else func(v) for v in col.values]
+        if out_dtype is not None:
+            filled = np.array(
+                [False if v is None else v for v in values]
+            ).astype(out_dtype)
+            return Series(Column(filled), index=self._series.index, name=self._series.name)
+        return Series(Column(values), index=self._series.index, name=self._series.name)
+
+    # -- transforms -----------------------------------------------------------
+
+    def lower(self) -> Series:
+        return self._map(str.lower)
+
+    def upper(self) -> Series:
+        return self._map(str.upper)
+
+    def title(self) -> Series:
+        return self._map(str.title)
+
+    def strip(self) -> Series:
+        return self._map(str.strip)
+
+    def len(self) -> Series:
+        return self._map(len, out_dtype=np.int64)
+
+    def replace(self, old: str, new: str) -> Series:
+        return self._map(lambda s: s.replace(old, new))
+
+    def slice(self, start=None, stop=None) -> Series:
+        return self._map(lambda s: s[start:stop])
+
+    def zfill(self, width: int) -> Series:
+        return self._map(lambda s: s.zfill(width))
+
+    def cat(self, other: Series, sep: str = "") -> Series:
+        """Elementwise concatenation with another string series."""
+        left = self._series.values
+        right = other.values
+        out = np.array(
+            [
+                None if a is None or b is None else f"{a}{sep}{b}"
+                for a, b in zip(left, right)
+            ],
+            dtype=object,
+        )
+        return Series(Column(out), index=self._series.index, name=self._series.name)
+
+    def split(self, sep: str) -> Series:
+        return self._map(lambda s: s.split(sep))
+
+    def get(self, i: int) -> Series:
+        return self._map(lambda s: s[i] if isinstance(s, (list, str)) and len(s) > i else None)
+
+    # -- predicates ------------------------------------------------------------
+
+    def contains(self, pat: str, case: bool = True) -> Series:
+        if case:
+            return self._map(lambda s: pat in s, out_dtype=bool)
+        low = pat.lower()
+        return self._map(lambda s: low in s.lower(), out_dtype=bool)
+
+    def startswith(self, prefix: str) -> Series:
+        return self._map(lambda s: s.startswith(prefix), out_dtype=bool)
+
+    def endswith(self, suffix: str) -> Series:
+        return self._map(lambda s: s.endswith(suffix), out_dtype=bool)
+
+    def isnumeric(self) -> Series:
+        return self._map(str.isnumeric, out_dtype=bool)

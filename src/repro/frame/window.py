@@ -1,0 +1,133 @@
+"""Positional window / cumulative operations for Series.
+
+Not required by the benchmark programs, but part of "the bulk of the
+widely used API" the paper's footnote 1 promises: ``shift``, ``diff``,
+``cumsum``, ``cummax``, ``cummin``, ``rank``, ``clip``, and simple
+trailing ``rolling`` means/sums.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.series import Series
+
+
+def shift(series: Series, periods: int = 1) -> Series:
+    """Move values by ``periods`` positions, NA-filling the gap."""
+    values = series.column.values
+    out = np.empty(len(values), dtype=np.float64 if values.dtype.kind in "if" else object)
+    if values.dtype.kind in "if":
+        out[:] = np.nan
+    else:
+        out[:] = None
+    if periods >= 0:
+        out[periods:] = values[: len(values) - periods]
+    else:
+        out[:periods] = values[-periods:]
+    return Series(Column.from_values(out), index=series.index, name=series.name)
+
+
+def diff(series: Series, periods: int = 1) -> Series:
+    """Elementwise difference with the value ``periods`` rows earlier."""
+    shifted = shift(series, periods)
+    values = series.column.values.astype(np.float64)
+    return Series(
+        Column(values - np.asarray(shifted.column.values, dtype=np.float64)),
+        index=series.index,
+        name=series.name,
+    )
+
+
+def cumsum(series: Series) -> Series:
+    return Series(
+        Column(np.cumsum(series.column.values)),
+        index=series.index,
+        name=series.name,
+    )
+
+
+def cummax(series: Series) -> Series:
+    return Series(
+        Column(np.maximum.accumulate(series.column.values)),
+        index=series.index,
+        name=series.name,
+    )
+
+
+def cummin(series: Series) -> Series:
+    return Series(
+        Column(np.minimum.accumulate(series.column.values)),
+        index=series.index,
+        name=series.name,
+    )
+
+
+def rank(series: Series, ascending: bool = True) -> Series:
+    """Average-rank (pandas default ``method='average'``)."""
+    values = series.column.values
+    order = np.argsort(values, kind="stable")
+    if not ascending:
+        order = np.argsort(-values if values.dtype.kind in "if" else values, kind="stable")
+        if values.dtype.kind not in "if":
+            order = order[::-1]
+    ranks = np.empty(len(values), dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    position = 1.0
+    while i < len(sorted_vals):
+        j = i
+        while j + 1 < len(sorted_vals) and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        average = (position + position + (j - i)) / 2.0
+        for k in range(i, j + 1):
+            ranks[order[k]] = average
+        position += j - i + 1
+        i = j + 1
+    return Series(Column(ranks), index=series.index, name=series.name)
+
+
+def clip(series: Series, lower=None, upper=None) -> Series:
+    values = series.column.values
+    out = np.clip(
+        values,
+        lower if lower is not None else -np.inf,
+        upper if upper is not None else np.inf,
+    )
+    if values.dtype.kind == "i" and lower is not None and upper is not None:
+        out = out.astype(np.int64)
+    return Series(Column(out), index=series.index, name=series.name)
+
+
+class Rolling:
+    """Trailing fixed-size window (``min_periods = window``)."""
+
+    def __init__(self, series: Series, window: int):
+        if window < 1:
+            raise ValueError("window must be positive")
+        self._series = series
+        self.window = window
+
+    def _trailing(self, reducer) -> Series:
+        values = self._series.column.values.astype(np.float64)
+        n = len(values)
+        out = np.full(n, np.nan)
+        if n >= self.window:
+            stacked = np.lib.stride_tricks.sliding_window_view(values, self.window)
+            out[self.window - 1:] = reducer(stacked, axis=1)
+        return Series(Column(out), index=self._series.index, name=self._series.name)
+
+    def mean(self) -> Series:
+        return self._trailing(np.mean)
+
+    def sum(self) -> Series:
+        return self._trailing(np.sum)
+
+    def min(self) -> Series:
+        return self._trailing(np.min)
+
+    def max(self) -> Series:
+        return self._trailing(np.max)

@@ -1,0 +1,31 @@
+"""LaFP task graph (sections 2.5-2.6).
+
+Nodes represent dataframe operations; an edge A -> B means *B depends on
+A's result* (data dependency) or *B must run after A* (ordering edge, used
+by lazy print).  The graph is built implicitly by the lazy wrapper objects
+in :mod:`repro.core` and executed by :class:`repro.graph.executor.Executor`
+in topological order with in-degree refcounting so intermediate results
+are freed as soon as their last consumer has run (section 2.6).
+"""
+
+from repro.graph.node import Node, OpSpec, OPS, register_op, series_used_columns
+from repro.graph.taskgraph import (
+    collect_subgraph,
+    node_counter,
+    to_dot,
+    topological_order,
+)
+from repro.graph.executor import Executor
+
+__all__ = [
+    "Executor",
+    "Node",
+    "OPS",
+    "OpSpec",
+    "collect_subgraph",
+    "node_counter",
+    "register_op",
+    "series_used_columns",
+    "to_dot",
+    "topological_order",
+]

@@ -1,0 +1,374 @@
+"""Task-graph nodes and the operator registry.
+
+Each :class:`Node` records an operation name (key into :data:`OPS`), the
+nodes it consumes, and plain-value arguments.  :class:`OpSpec` carries the
+semantic facts the runtime optimizer needs (section 3.2):
+
+- ``mod_attrs``      -- columns the operator modifies or computes,
+- ``used_attrs``     -- columns it reads,
+- ``row_preserving`` -- filtering input rows does not change the values of
+                        surviving output rows (safe-point condition 2),
+- ``side_effect``    -- produces output; never moved or eliminated,
+- ``is_source`` / ``is_filter`` -- structural roles for pushdown.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+from typing import Callable, Dict, List, Optional, Sequence, Set
+
+_node_ids = itertools.count(1)
+
+#: Wildcard marker: "all columns of the frame".
+ALL_COLUMNS = "*"
+
+
+@dataclasses.dataclass
+class OpSpec:
+    """Static semantics of one operator kind."""
+
+    name: str
+    #: columns modified/computed; callable(node) -> set, or a constant set.
+    mod_attrs: Callable[["Node"], Set[str]] = lambda node: set()
+    #: columns read; callable(node) -> set (may contain ALL_COLUMNS).
+    used_attrs: Callable[["Node"], Set[str]] = lambda node: {ALL_COLUMNS}
+    #: True when filtering rows upstream commutes with this operator.
+    row_preserving: bool = False
+    side_effect: bool = False
+    is_source: bool = False
+    is_filter: bool = False
+    #: True when the op returns a scalar (aggregations, len).
+    scalar: bool = False
+
+
+OPS: Dict[str, OpSpec] = {}
+
+
+def register_op(spec: OpSpec) -> OpSpec:
+    OPS[spec.name] = spec
+    return spec
+
+
+class Node:
+    """One operation in the LaFP task graph."""
+
+    __slots__ = (
+        "id",
+        "op",
+        "inputs",
+        "args",
+        "order_deps",
+        "result",
+        "computed",
+        "persist",
+        "label",
+    )
+
+    def __init__(
+        self,
+        op: str,
+        inputs: Sequence["Node"] = (),
+        args: Optional[dict] = None,
+        order_deps: Sequence["Node"] = (),
+        label: Optional[str] = None,
+    ):
+        if op not in OPS:
+            raise KeyError(f"unregistered operator {op!r}")
+        self.id = next(_node_ids)
+        self.op = op
+        self.inputs: List[Node] = list(inputs)
+        self.args = args or {}
+        #: ordering-only dependencies (print chains, forced compute).
+        self.order_deps: List[Node] = list(order_deps)
+        self.result = None
+        self.computed = False
+        self.persist = False
+        self.label = label
+
+    # -- semantics ---------------------------------------------------------
+
+    @property
+    def spec(self) -> OpSpec:
+        return OPS[self.op]
+
+    def mod_attrs(self) -> Set[str]:
+        return self.spec.mod_attrs(self)
+
+    def used_attrs(self) -> Set[str]:
+        return self.spec.used_attrs(self)
+
+    def all_deps(self) -> List["Node"]:
+        return self.inputs + self.order_deps
+
+    def clear_result(self) -> None:
+        """Drop the materialized result (unless persisted)."""
+        if not self.persist:
+            self.result = None
+            self.computed = False
+
+    def set_result(self, value) -> None:
+        self.result = value
+        self.computed = True
+
+    def replace_input(self, old: "Node", new: "Node") -> None:
+        self.inputs = [new if inp is old else inp for inp in self.inputs]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        extra = f" {self.label}" if self.label else ""
+        return f"<Node {self.id} {self.op}{extra}>"
+
+
+# ---------------------------------------------------------------------------
+# Operator registry.
+#
+# ``used_attrs`` helpers read the node's args; filter predicates compute
+# their used columns by walking the mask expression subgraph (see
+# ``series_used_columns``).
+# ---------------------------------------------------------------------------
+
+
+def _arg_cols_or_all(*arg_names: str) -> Callable[[Node], Set[str]]:
+    """Column args when given; otherwise the whole frame is inspected
+    (e.g. ``dropna()`` with no subset checks every column)."""
+
+    def used(node: Node) -> Set[str]:
+        out: Set[str] = set()
+        found = False
+        for name in arg_names:
+            value = node.args.get(name)
+            if value is None:
+                continue
+            found = True
+            if isinstance(value, str):
+                out.add(value)
+            else:
+                out.update(value)
+        return out if found else {ALL_COLUMNS}
+
+    return used
+
+
+def _arg_cols(*arg_names: str) -> Callable[[Node], Set[str]]:
+    def used(node: Node) -> Set[str]:
+        out: Set[str] = set()
+        for name in arg_names:
+            value = node.args.get(name)
+            if value is None:
+                continue
+            if isinstance(value, str):
+                out.add(value)
+            else:
+                out.update(value)
+        return out
+
+    return used
+
+
+def series_used_columns(node: Node) -> Set[str]:
+    """Columns of the *originating frame* read by a series expression.
+
+    Walks the expression subgraph upward through elementwise ops until
+    frame-level nodes are reached; a ``getitem_column`` contributes its
+    column name.  Anything unrecognised degrades to ``ALL_COLUMNS``.
+    """
+    out: Set[str] = set()
+    stack = [node]
+    seen = set()
+    while stack:
+        cur = stack.pop()
+        if cur.id in seen:
+            continue
+        seen.add(cur.id)
+        if cur.op == "getitem_column":
+            out.add(cur.args["column"])
+            continue  # do not walk into the frame itself
+        if cur.op in _ELEMENTWISE_SERIES_OPS or cur.op == "filter":
+            stack.extend(cur.inputs)
+        elif cur.spec.is_source:
+            continue
+        else:
+            out.add(ALL_COLUMNS)
+    return out
+
+
+_ELEMENTWISE_SERIES_OPS = {
+    "binop",
+    "unop",
+    "str_method",
+    "dt_field",
+    "isin",
+    "between",
+    "isna",
+    "notna",
+    "series_fillna",
+    "series_astype",
+    "to_datetime",
+    "series_map",
+}
+
+
+def _filter_used(node: Node) -> Set[str]:
+    # inputs = [frame, mask]
+    return series_used_columns(node.inputs[1])
+
+
+def _setitem_mod(node: Node) -> Set[str]:
+    return {node.args["column"]}
+
+
+def _setitem_used(node: Node) -> Set[str]:
+    if len(node.inputs) > 1:
+        return series_used_columns(node.inputs[1])
+    return set()
+
+
+def _rename_mod(node: Node) -> Set[str]:
+    mapping = node.args.get("columns", {})
+    return set(mapping) | set(mapping.values())
+
+
+register_op(OpSpec(
+    "read_csv",
+    used_attrs=lambda n: set(),
+    is_source=True,
+))
+register_op(OpSpec(
+    "from_data",
+    used_attrs=lambda n: set(),
+    is_source=True,
+))
+register_op(OpSpec(
+    "identity",
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "getitem_column",
+    used_attrs=_arg_cols("column"),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "getitem_columns",
+    used_attrs=_arg_cols("columns"),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "filter",
+    used_attrs=_filter_used,
+    row_preserving=True,
+    is_filter=True,
+))
+register_op(OpSpec(
+    "setitem",
+    mod_attrs=_setitem_mod,
+    used_attrs=_setitem_used,
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "binop",
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec("unop", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("str_method", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("dt_field", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("isin", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("between", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("isna", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("notna", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("series_fillna", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("series_astype", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("series_map", used_attrs=lambda n: set(), row_preserving=True))
+# window/positional series ops: results depend on neighbouring rows, so
+# filters never commute through them (not elementwise, not row_preserving).
+register_op(OpSpec("series_call", used_attrs=lambda n: set()))
+register_op(OpSpec("to_datetime", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec(
+    "astype",
+    mod_attrs=lambda n: set(n.args.get("dtype", {}))
+    if isinstance(n.args.get("dtype"), dict)
+    else {ALL_COLUMNS},
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "fillna",
+    mod_attrs=lambda n: {ALL_COLUMNS},
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "dropna",
+    used_attrs=_arg_cols_or_all("subset"),
+    row_preserving=True,  # a dropna is itself a filter; rows commute
+))
+register_op(OpSpec(
+    "rename",
+    mod_attrs=_rename_mod,
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "drop",
+    mod_attrs=lambda n: set(n.args.get("columns", [])),
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "sort_values",
+    used_attrs=_arg_cols("by"),
+    row_preserving=True,
+))
+register_op(OpSpec("sort_index", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec(
+    "drop_duplicates",
+    used_attrs=_arg_cols_or_all("subset"),
+    # Filtering first can change *which* representative row survives, but
+    # never produces a row that fails the filter; the paper lists
+    # drop_duplicates as safe to swap with filters.
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "round",
+    mod_attrs=lambda n: {ALL_COLUMNS},
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "abs",
+    mod_attrs=lambda n: {ALL_COLUMNS},
+    used_attrs=lambda n: set(),
+    row_preserving=True,
+))
+
+# Row-count-changing / aggregate operators: predicates never move below.
+register_op(OpSpec("groupby_agg", used_attrs=_arg_cols("keys", "column")))
+register_op(OpSpec("groupby_agg_multi", used_attrs=_arg_cols("keys", "columns")))
+register_op(OpSpec("groupby_size", used_attrs=_arg_cols("keys")))
+register_op(OpSpec("merge"))
+register_op(OpSpec("concat"))
+register_op(OpSpec("head", used_attrs=lambda n: set(), row_preserving=False))
+register_op(OpSpec("tail", used_attrs=lambda n: set(), row_preserving=False))
+register_op(OpSpec("nlargest", used_attrs=_arg_cols("columns")))
+register_op(OpSpec("nsmallest", used_attrs=_arg_cols("columns")))
+register_op(OpSpec("describe"))
+register_op(OpSpec("info"))
+register_op(OpSpec("value_counts"))
+register_op(OpSpec("series_agg", scalar=True))
+register_op(OpSpec("series_len", scalar=True))
+register_op(OpSpec("frame_len", scalar=True))
+register_op(OpSpec("nunique", scalar=True))
+register_op(OpSpec("unique"))
+register_op(OpSpec("to_frame_series", row_preserving=True))
+register_op(OpSpec("reset_index"))
+register_op(OpSpec("set_index", used_attrs=_arg_cols("column")))
+register_op(OpSpec("apply"))
+register_op(OpSpec("assign", mod_attrs=lambda n: {ALL_COLUMNS}))
+register_op(OpSpec("select_columns_if"))
+register_op(OpSpec("sample", used_attrs=lambda n: set()))
+
+# Side-effect operators.
+register_op(OpSpec("print", side_effect=True))
+register_op(OpSpec("to_csv", side_effect=True))
+register_op(OpSpec("plot_call", side_effect=True))

@@ -1,0 +1,23 @@
+"""User-facing Lazy Fat Pandas facade (Figure 2).
+
+Usage, exactly as the paper prescribes::
+
+    import repro.lazyfatpandas.pandas as pd
+    pd.analyze()                      # JIT static analysis + rewrite
+    df = pd.read_csv("data.csv")
+    ...
+
+and for programs run without the rewriter, the lazy runtime alone::
+
+    import repro.lazyfatpandas.pandas as pd
+    from repro.lazyfatpandas.func import print   # lazy print
+    ...
+    pd.flush()
+
+A top-level ``lazyfatpandas`` alias package is installed as well, so the
+paper's verbatim ``import lazyfatpandas.pandas as pd`` also works.
+"""
+
+from repro.lazyfatpandas import func, pandas
+
+__all__ = ["func", "pandas"]

@@ -1,0 +1,169 @@
+"""The ``lazyfatpandas.pandas`` module: LaFP's drop-in pandas surface.
+
+Importing this module as ``pd`` gives the paper's API:
+
+- ``pd.read_csv`` and friends return :class:`~repro.core.LazyFrame`s that
+  build the task graph instead of executing,
+- ``pd.analyze()`` triggers JIT static analysis of the calling program
+  (section 2.4),
+- ``pd.flush()`` forces pending lazy prints (section 3.3),
+- ``pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS`` selects the executor
+  (section 2.6; default DASK).
+"""
+
+from __future__ import annotations
+
+import enum
+import sys
+from typing import Optional, Sequence
+
+from repro.core.lazyframe import LazyFrame, LazyObject, LazySeries
+from repro.core.session import SYNC_HOOKS, get_session, reset_session
+from repro.frame.io_csv import read_header
+from repro.graph.node import Node
+
+
+class BackendEngines(enum.Enum):
+    """Selectable execution backends (section 2.6)."""
+
+    PANDAS = "pandas"
+    DASK = "dask"
+    MODIN = "modin"
+
+
+#: Assign to choose the backend, e.g.
+#: ``pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS``.
+BACKEND_ENGINE = BackendEngines.DASK
+
+
+def _sync_backend() -> None:
+    """Propagate the module-level backend choice into the session."""
+    session = get_session()
+    wanted = BACKEND_ENGINE.value
+    if session.backend_name != wanted:
+        session.set_backend(wanted)
+
+
+SYNC_HOOKS.append(_sync_backend)
+
+
+# ---------------------------------------------------------------------------
+# Frame constructors.
+# ---------------------------------------------------------------------------
+
+
+def read_csv(
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    dtype=None,
+    parse_dates: Optional[Sequence[str]] = None,
+    nrows: Optional[int] = None,
+    index_col: Optional[str] = None,
+    read_only_cols: Optional[Sequence[str]] = None,
+    mutated_cols: Optional[Sequence[str]] = None,
+) -> LazyFrame:
+    """Lazy CSV read.
+
+    ``read_only_cols`` / ``mutated_cols`` carry the static analyzer's
+    kill-set result (section 3.6): either the columns proven read-only,
+    or the columns the program assigns (read-only = header minus
+    mutated).  The runtime optimizer intersects them with metastore
+    cardinality candidates to choose ``category`` dtypes safely.
+    """
+    _sync_backend()
+    session = get_session()
+    args = {"path": path}
+    if usecols is not None:
+        args["usecols"] = list(usecols)
+    if dtype is not None:
+        args["dtype"] = dict(dtype)
+    if parse_dates is not None:
+        args["parse_dates"] = list(parse_dates)
+    if nrows is not None:
+        args["nrows"] = nrows
+    if index_col is not None:
+        args["index_col"] = index_col
+    if read_only_cols is not None:
+        args["read_only_cols"] = list(read_only_cols)
+    if mutated_cols is not None:
+        args["mutated_cols"] = list(mutated_cols)
+    node = Node("read_csv", args=args, label=f"read_csv {path}")
+    try:
+        columns = read_header(path)
+        if usecols is not None:
+            columns = [c for c in columns if c in set(usecols)]
+        if index_col is not None:
+            columns = [c for c in columns if c != index_col]
+    except OSError:
+        columns = None
+    return LazyFrame(session.register(node), session, columns=columns)
+
+
+def DataFrame(data) -> LazyFrame:
+    """Lazy in-memory frame construction."""
+    session = get_session()
+    node = Node("from_data", args={"data": data}, label="DataFrame")
+    columns = list(data.keys()) if isinstance(data, dict) else None
+    return LazyFrame(session.register(node), session, columns=columns)
+
+
+def merge(left: LazyFrame, right: LazyFrame, **kwargs) -> LazyFrame:
+    """Module-level merge, mirroring ``pandas.merge``."""
+    return left.merge(right, **kwargs)
+
+
+def concat(objs: Sequence[LazyObject], ignore_index: bool = True):
+    """Lazy row-wise concatenation."""
+    session = get_session()
+    nodes = [o.node for o in objs]
+    node = Node("concat", inputs=nodes, label="concat")
+    session.register(node)
+    if isinstance(objs[0], LazySeries):
+        return LazySeries(node, session, name=objs[0].name)
+    columns = objs[0].columns if isinstance(objs[0], LazyFrame) else None
+    return LazyFrame(node, session, columns=columns)
+
+
+def to_datetime(series: LazySeries) -> LazySeries:
+    """Lazy string-to-datetime conversion."""
+    session = get_session()
+    node = Node("to_datetime", inputs=[series.node], label="to_datetime")
+    return LazySeries(session.register(node), session, name=series.name)
+
+
+# ---------------------------------------------------------------------------
+# Control-flow entry points (Figure 2's two lines).
+# ---------------------------------------------------------------------------
+
+
+def analyze(run: bool = True) -> Optional[str]:
+    """JIT static analysis of the calling program (section 2.4, Figure 5).
+
+    Finds the caller's source via reflection, rewrites it (column
+    selection, lazy print, forced computation, metadata hints), executes
+    the optimized program, and stops the original one.  Inside the
+    optimized program (or when the source cannot be found, e.g. in a
+    REPL) this is a no-op.
+
+    With ``run=False`` the optimized source is returned instead of
+    executed -- used by tests and by ``EXPERIMENTS.md`` tooling.
+    """
+    _sync_backend()
+    from repro.analysis.jit import jit_analyze
+
+    return jit_analyze(depth=2, run=run)
+
+
+def flush() -> None:
+    """Execute pending lazy prints (inserted by the rewriter, Figure 8)."""
+    _sync_backend()
+    get_session().flush()
+
+
+def reset(backend: Optional[str] = None) -> None:
+    """Start a fresh LaFP session (benchmark harness hook)."""
+    reset_session(backend or BACKEND_ENGINE.value)
+
+
+def set_option(*args, **kwargs) -> None:
+    """Accepted for pandas compatibility; LaFP has no display options."""

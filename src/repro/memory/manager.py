@@ -1,0 +1,155 @@
+"""Process-wide simulated memory accounting.
+
+Every column buffer created by :mod:`repro.frame` registers its size with
+the global :class:`MemoryManager`.  Buffers deregister when garbage
+collected (CPython refcounting makes this effectively deterministic), or
+explicitly when a backend spills them to disk.
+
+The manager keeps three numbers:
+
+- ``live``  -- bytes currently registered,
+- ``peak``  -- maximum of ``live`` since the last :meth:`MemoryManager.reset_peak`,
+- ``budget`` -- optional ceiling; registration beyond it raises
+  :class:`SimulatedMemoryError`.
+
+A ``budget`` of ``None`` (the default) disables the ceiling, so ordinary
+library use is unaffected; the benchmark runner installs a budget scaled to
+the paper's RAM:data ratio.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+
+class SimulatedMemoryError(MemoryError):
+    """Raised when a tracked allocation would exceed the simulated budget.
+
+    Subclasses :class:`MemoryError` so code written to survive real
+    out-of-memory conditions behaves identically under simulation.
+    """
+
+    def __init__(self, requested: int, live: int, budget: int):
+        self.requested = requested
+        self.live = live
+        self.budget = budget
+        super().__init__(
+            f"simulated OOM: requested {requested} B with {live} B live "
+            f"against a budget of {budget} B"
+        )
+
+
+class MemoryManager:
+    """Tracks live and peak bytes of registered buffers.
+
+    Thread-safe: the Dask and Modin simulators execute partitions from
+    worker threads.
+    """
+
+    def __init__(self, budget: Optional[int] = None):
+        self._lock = threading.Lock()
+        self._live = 0
+        self._peak = 0
+        self.budget = budget
+        self.oom_count = 0
+
+    # -- accounting ------------------------------------------------------
+
+    def register(self, nbytes: int) -> None:
+        """Account for ``nbytes`` of new buffer memory.
+
+        Raises :class:`SimulatedMemoryError` if a budget is set and the
+        allocation would push ``live`` past it.
+        """
+        if nbytes < 0:
+            raise ValueError(f"nbytes must be non-negative, got {nbytes}")
+        with self._lock:
+            if self.budget is not None and self._live + nbytes > self.budget:
+                self.oom_count += 1
+                raise SimulatedMemoryError(nbytes, self._live, self.budget)
+            self._live += nbytes
+            if self._live > self._peak:
+                self._peak = self._live
+
+    def release(self, nbytes: int) -> None:
+        """Return ``nbytes`` to the pool (buffer freed or spilled)."""
+        with self._lock:
+            self._live -= nbytes
+            if self._live < 0:
+                # Double-release is a bug in the caller; clamp so the
+                # accounting stays sane but keep it visible for tests.
+                self._live = 0
+
+    # -- observation -----------------------------------------------------
+
+    @property
+    def live(self) -> int:
+        """Bytes currently registered."""
+        return self._live
+
+    @property
+    def peak(self) -> int:
+        """High-water mark since construction or :meth:`reset_peak`."""
+        return self._peak
+
+    def headroom(self) -> Optional[int]:
+        """Bytes left under the budget, or ``None`` when unbudgeted."""
+        if self.budget is None:
+            return None
+        return max(0, self.budget - self._live)
+
+    def reset_peak(self) -> None:
+        """Start a fresh peak measurement from the current live size."""
+        with self._lock:
+            self._peak = self._live
+
+    def reset(self) -> None:
+        """Clear all counters (used between benchmark runs)."""
+        with self._lock:
+            self._live = 0
+            self._peak = 0
+            self.oom_count = 0
+
+
+#: The single process-wide manager used by every tracked buffer.
+memory_manager = MemoryManager()
+
+
+class TrackedBuffer:
+    """Registers ``nbytes`` with the global manager for its lifetime.
+
+    :class:`repro.frame.column.Column` owns one of these per backing array.
+    Deregistration happens via ``weakref.finalize`` so callers never need a
+    ``close()`` discipline; explicit :meth:`release` supports spilling.
+    """
+
+    __slots__ = ("nbytes", "_finalizer", "__weakref__")
+
+    def __init__(self, nbytes: int, manager: MemoryManager = memory_manager):
+        manager.register(nbytes)
+        self.nbytes = nbytes
+        self._finalizer = weakref.finalize(self, manager.release, nbytes)
+
+    def release(self) -> None:
+        """Deregister now (idempotent); used when spilling to disk."""
+        if self._finalizer.alive:
+            self._finalizer()
+
+
+@contextmanager
+def memory_budget(budget: Optional[int]) -> Iterator[MemoryManager]:
+    """Temporarily install ``budget`` on the global manager.
+
+    Peak tracking is reset on entry so the recorded peak reflects only the
+    governed region.  The previous budget is restored on exit.
+    """
+    previous = memory_manager.budget
+    memory_manager.budget = budget
+    memory_manager.reset_peak()
+    try:
+        yield memory_manager
+    finally:
+        memory_manager.budget = previous

@@ -1,0 +1,14 @@
+"""Metadata store (section 3.6).
+
+Computes and persists per-file metadata -- column names and types, value
+ranges, distinct counts (selectivity), approximate row size and row count
+-- keyed by file path with modified-time invalidation.  LaFP's
+``read_csv`` wrapper consults the store to pass ``dtype`` hints to the
+backend and to choose ``category`` dtype for low-cardinality read-only
+string columns.
+"""
+
+from repro.metastore.stats import ColumnStats, FileMetadata, compute_metadata
+from repro.metastore.store import MetaStore
+
+__all__ = ["ColumnStats", "FileMetadata", "MetaStore", "compute_metadata"]

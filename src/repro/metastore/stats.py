@@ -1,0 +1,214 @@
+"""Metadata computation for source data files.
+
+Types require a full-column look to be *correct*; statistics may come from
+a sample (the paper computes stats from a sample, types from the full file
+"at some risk" if sampled).  We scan a configurable number of rows
+(``sample_rows=None`` means the whole file) and record per column:
+
+- inferred logical type,
+- min/max (numeric and datetime columns),
+- distinct-count estimate and selectivity (distinct/rows),
+- average encoded width (bytes),
+
+plus file-level row count, average row size, and modified time.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.frame.io_csv import read_csv, read_header
+
+#: Columns with at most this many distinct values *and* a selectivity
+#: below 10% are proposed as ``category`` dtype.
+CATEGORY_MAX_DISTINCT = 64
+CATEGORY_MAX_SELECTIVITY = 0.1
+
+
+@dataclasses.dataclass
+class ColumnStats:
+    """Statistics for one column of a source file."""
+
+    name: str
+    dtype: str
+    min_value: Optional[float] = None
+    max_value: Optional[float] = None
+    distinct: int = 0
+    selectivity: float = 1.0
+    avg_width: float = 8.0
+
+    def is_category_candidate(self) -> bool:
+        """Low-cardinality string column suitable for dictionary encoding."""
+        return (
+            self.dtype == "object"
+            and self.distinct <= CATEGORY_MAX_DISTINCT
+            and self.selectivity <= CATEGORY_MAX_SELECTIVITY
+        )
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ColumnStats":
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class FileMetadata:
+    """Everything the metastore knows about one file."""
+
+    path: str
+    mtime: float
+    n_rows: int
+    row_size: float
+    columns: Dict[str, ColumnStats]
+    sampled: bool
+
+    def dtype_hints(self, read_only_columns: Optional[List[str]] = None) -> Dict[str, str]:
+        """dtype mapping for ``read_csv`` (section 3.6).
+
+        ``category`` is proposed only for columns listed as read-only --
+        assigning a new value to a category column raises at runtime, so
+        the rewrite must prove the column is never written (the paper's
+        kill-information check).
+        """
+        read_only = set(read_only_columns or [])
+        hints: Dict[str, str] = {}
+        for name, stats in self.columns.items():
+            if stats.is_category_candidate() and name in read_only:
+                hints[name] = "category"
+            elif stats.dtype in ("int64", "float64"):
+                hints[name] = stats.dtype
+        return hints
+
+    def estimated_bytes(self, columns: Optional[List[str]] = None) -> int:
+        """Predicted in-memory footprint of reading ``columns`` (or all)."""
+        names = columns if columns is not None else list(self.columns)
+        total = 0.0
+        for name in names:
+            stats = self.columns.get(name)
+            if stats is None:
+                continue
+            total += stats.avg_width * self.n_rows
+        return int(total)
+
+    def to_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "mtime": self.mtime,
+            "n_rows": self.n_rows,
+            "row_size": self.row_size,
+            "sampled": self.sampled,
+            "columns": {k: v.to_dict() for k, v in self.columns.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FileMetadata":
+        return cls(
+            path=data["path"],
+            mtime=data["mtime"],
+            n_rows=data["n_rows"],
+            row_size=data["row_size"],
+            sampled=data["sampled"],
+            columns={
+                k: ColumnStats.from_dict(v) for k, v in data["columns"].items()
+            },
+        )
+
+
+def compute_metadata(path: str, sample_rows: Optional[int] = 10_000) -> FileMetadata:
+    """Scan ``path`` and compute :class:`FileMetadata`.
+
+    This is the "script run on the file" of section 3.6; the benchmark
+    runner executes it as a background/setup task.
+    """
+    header = read_header(path)
+    frame = read_csv(path, nrows=sample_rows)
+    sampled = sample_rows is not None and len(frame) >= sample_rows
+
+    n_rows = len(frame)
+    if sampled:
+        n_rows = _estimate_total_rows(path, len(frame))
+
+    columns: Dict[str, ColumnStats] = {}
+    for name in header:
+        col = frame.column(name)
+        stats = ColumnStats(name=name, dtype=_dtype_name(col))
+        sample_n = max(1, len(col))
+        stats.distinct = col.nunique()
+        if sampled and stats.distinct > sample_n * 0.5:
+            # High-cardinality in the sample: extrapolate linearly.
+            stats.distinct = int(stats.distinct * n_rows / sample_n)
+        stats.selectivity = min(1.0, stats.distinct / max(1, n_rows))
+        stats.avg_width = col.nbytes / sample_n
+        if not col.is_category and col.values.dtype.kind in "if":
+            vals = col.values
+            if vals.dtype.kind == "f":
+                vals = vals[~np.isnan(vals)]
+            if len(vals):
+                stats.min_value = float(vals.min())
+                stats.max_value = float(vals.max())
+        columns[name] = stats
+
+    row_size = sum(s.avg_width for s in columns.values())
+    return FileMetadata(
+        path=os.path.abspath(path),
+        mtime=os.path.getmtime(path),
+        n_rows=n_rows,
+        row_size=row_size,
+        columns=columns,
+        sampled=sampled,
+    )
+
+
+def _dtype_name(col) -> str:
+    if col.is_category:
+        return "category"
+    kind = col.values.dtype.kind
+    return {
+        "i": "int64",
+        "f": "float64",
+        "b": "bool",
+        "M": "datetime64[ns]",
+        "O": "object",
+    }.get(kind, str(col.values.dtype))
+
+
+def _estimate_total_rows(path: str, sampled_rows: int) -> int:
+    """Estimate the file's row count from its byte size and a sample."""
+    size = os.path.getsize(path)
+    with open(path, "rb") as f:
+        f.readline()
+        data_start = f.tell()
+        read = 0
+        lines = 0
+        while lines < sampled_rows:
+            line = f.readline()
+            if not line:
+                break
+            read += len(line)
+            lines += 1
+    if lines == 0 or read == 0:
+        return sampled_rows
+    front_avg = read / lines
+    # Rows often grow with ordinal ids; blend in a tail sample so the
+    # estimate is not front-biased.
+    tail_avg = _tail_line_width(path, size)
+    avg_line = (front_avg + tail_avg) / 2 if tail_avg else front_avg
+    return int((size - data_start) / avg_line)
+
+
+def _tail_line_width(path: str, size: int) -> float:
+    chunk = min(size, 1 << 14)
+    with open(path, "rb") as f:
+        f.seek(size - chunk)
+        data = f.read(chunk)
+    newlines = data.count(b"\n")
+    if newlines < 2:
+        return 0.0
+    first = data.index(b"\n")
+    return (len(data) - first - 1) / max(1, newlines - 1)

@@ -1,0 +1,28 @@
+"""Benchmark workloads: the paper's ten programs and measurement harness.
+
+- :mod:`repro.workloads.datagen` -- synthetic datasets shaped like the
+  paper's (taxi, movies, startups, employees, vessels, cities, sensors,
+  food orders, zip codes): wide tables with few used columns, string
+  padding, low-cardinality categoricals, join tables.
+- :mod:`repro.workloads.programs` -- the ten programs
+  (``ais cty dso emp env fdb mov nyt stu zip``), written in plain pandas
+  style, each exercising the optimizations the paper attributes to it.
+- :mod:`repro.workloads.plotlib` -- the external eager-only plotting
+  module (the matplotlib stand-in that forces computation, section 3.4).
+- :mod:`repro.workloads.runner` -- executes (program x mode x size) under
+  a simulated memory budget, recording time / peak memory / success.
+- :mod:`repro.workloads.verify` -- md5 regression hashing of results
+  against unoptimized pandas (section 5.2).
+"""
+
+from repro.workloads.programs import PROGRAMS, WorkloadProgram
+from repro.workloads.runner import MODES, RunResult, Runner, SCALES
+
+__all__ = [
+    "MODES",
+    "PROGRAMS",
+    "RunResult",
+    "Runner",
+    "SCALES",
+    "WorkloadProgram",
+]

@@ -1,0 +1,53 @@
+"""Modin facade for baseline runs.
+
+The paper notes running pandas programs on Modin "is straightforward,
+with the only change required being to an import statement"; this module
+is that import target.  Frames are eager and partitioned
+(:mod:`repro.backends.modin_sim`); there is no spilling.
+"""
+
+from __future__ import annotations
+
+from repro.backends.modin_backend import DEFAULT_PARTITION_BYTES
+from repro.backends.modin_sim.frame import (
+    ModinFrame,
+    ModinSeries,
+    _resplit,
+    modin_read_csv,
+)
+from repro.frame import DataFrame as _EagerFrame
+from repro.frame import Series as _EagerSeries
+from repro.frame import concat as _eager_concat
+from repro.frame import to_datetime as _eager_to_datetime
+
+
+def read_csv(path: str, **kwargs) -> ModinFrame:
+    return modin_read_csv(path, DEFAULT_PARTITION_BYTES, **kwargs)
+
+
+def DataFrame(data) -> ModinFrame:
+    frame = _EagerFrame(data)
+    nparts = max(1, frame.nbytes // DEFAULT_PARTITION_BYTES)
+    return _resplit(frame, int(nparts))
+
+
+def merge(left: ModinFrame, right, **kwargs) -> ModinFrame:
+    return left.merge(right, **kwargs)
+
+
+def concat(objs, ignore_index: bool = True):
+    eager = [
+        o.to_pandas() if isinstance(o, (ModinFrame, ModinSeries)) else o
+        for o in objs
+    ]
+    merged = _eager_concat(eager, ignore_index=ignore_index)
+    return _resplit(merged, max(1, merged.nbytes // DEFAULT_PARTITION_BYTES))
+
+
+def to_datetime(series):
+    if isinstance(series, ModinSeries):
+        return series._map(_eager_to_datetime)
+    return _eager_to_datetime(series)
+
+
+__all__ = ["DataFrame", "concat", "merge", "read_csv", "to_datetime"]

@@ -1,0 +1,11 @@
+"""Plain-pandas facade for baseline runs.
+
+Benchmark programs written against the pandas API run unmodified with
+``import repro.workloads.pandas_compat as pd`` -- everything is eager
+whole-frame execution on :mod:`repro.frame`, i.e. the "Pandas" column of
+Figures 12-15.
+"""
+
+from repro.frame import DataFrame, concat, merge, read_csv, to_datetime
+
+__all__ = ["DataFrame", "concat", "merge", "read_csv", "to_datetime"]

@@ -1,0 +1,272 @@
+"""Measurement runner: (program x mode x size) under a simulated budget.
+
+Reproduces the paper's experimental grid (section 5):
+
+- six modes: ``pandas`` / ``modin`` / ``dask`` baselines and
+  ``lafp_pandas`` / ``lafp_modin`` / ``lafp_dask`` (LPandas / LModin /
+  LDask in Figure 12),
+- three sizes ``S`` / ``M`` / ``L`` scaled 1 : 3 : 9 like 1.4 / 4.2 /
+  12.6 GB,
+- a simulated RAM budget of ``(32 / 12.6) x`` the program's L-size data
+  (the paper machine's RAM:data ratio), so out-of-memory happens for the
+  same structural reasons,
+- wall-clock seconds, simulated peak bytes, success/OOM, and the md5 of
+  the saved result for regression checking.
+
+Programs run in-process via ``runpy`` (so ``pd.analyze()``'s reflection
+finds real source files) with stdout captured.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import io
+import os
+import runpy
+import shutil
+import tempfile
+import time
+from typing import Dict, Iterable, List, Optional
+
+from repro.core.session import get_session, reset_session
+from repro.memory import memory_manager
+from repro.metastore import MetaStore
+from repro.workloads import datagen
+from repro.workloads.programs import PROGRAMS
+from repro.workloads.resultio import file_md5
+
+#: size name -> row multiplier (paper: 1.4 / 4.2 / 12.6 GB = 1 : 3 : 9).
+SCALES: Dict[str, int] = {"S": 1, "M": 3, "L": 9}
+
+#: the paper machine's RAM : largest-dataset ratio (32 GB : 12.6 GB).
+RAM_RATIO = 32 / 12.6
+
+MODES = ["pandas", "lafp_pandas", "modin", "lafp_modin", "dask", "lafp_dask"]
+
+_HEADERS = {
+    "pandas": "import repro.workloads.pandas_compat as pd\n",
+    "modin": "import repro.workloads.modin_compat as pd\n",
+    "dask": "import repro.workloads.dask_compat as pd\n",
+    "lafp_pandas": (
+        "import repro.lazyfatpandas.pandas as pd\n"
+        "pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS\n"
+        "pd.analyze()\n"
+    ),
+    "lafp_modin": (
+        "import repro.lazyfatpandas.pandas as pd\n"
+        "pd.BACKEND_ENGINE = pd.BackendEngines.MODIN\n"
+        "pd.analyze()\n"
+    ),
+    "lafp_dask": (
+        "import repro.lazyfatpandas.pandas as pd\n"
+        "pd.BACKEND_ENGINE = pd.BackendEngines.DASK\n"
+        "pd.analyze()\n"
+    ),
+}
+
+_BACKEND_OF_MODE = {
+    "lafp_pandas": "pandas",
+    "lafp_modin": "modin",
+    "lafp_dask": "dask",
+}
+
+
+@dataclasses.dataclass
+class RunResult:
+    """Outcome of one (program, mode, size) execution."""
+
+    program: str
+    mode: str
+    size: str
+    ok: bool
+    seconds: float
+    peak_bytes: int
+    error: Optional[str] = None
+    result_hash: Optional[str] = None
+    stdout: str = ""
+
+    @property
+    def label(self) -> str:
+        return f"{self.program}/{self.mode}/{self.size}"
+
+
+class Runner:
+    """Owns data directories, the metastore, and run orchestration."""
+
+    def __init__(
+        self,
+        workdir: Optional[str] = None,
+        base_rows: Optional[int] = None,
+        enforce_budget: bool = True,
+    ):
+        self.workdir = workdir or tempfile.mkdtemp(prefix="lafp-bench-")
+        self.base_rows = base_rows or int(
+            os.environ.get("LAFP_BASE_ROWS", datagen.BASE_ROWS)
+        )
+        self.enforce_budget = enforce_budget
+        self.metastore = MetaStore(os.path.join(self.workdir, "metastore"))
+        self._generated: Dict[str, set] = {}
+
+    # -- data preparation ---------------------------------------------------
+
+    def data_dir(self, size: str) -> str:
+        return os.path.join(self.workdir, f"data_{size}")
+
+    def prepare(self, sizes: Iterable[str] = ("S",), programs=None) -> None:
+        """Generate datasets (and metadata) for the requested sizes."""
+        names = set()
+        for program in programs or PROGRAMS:
+            names.update(PROGRAMS[program].datasets)
+        for size in sizes:
+            done = self._generated.setdefault(size, set())
+            rows = self.base_rows * SCALES[size]
+            for name in sorted(names - done):
+                path = datagen.generate(name, self.data_dir(size), rows)
+                # Metadata computation is the paper's background task.
+                self.metastore.compute_and_store(path, sample_rows=2_000)
+                done.add(name)
+
+    def dataset_bytes(self, program: str, size: str) -> int:
+        total = 0
+        for name in PROGRAMS[program].datasets:
+            path = os.path.join(self.data_dir(size), f"{name}.csv")
+            if os.path.exists(path):
+                total += os.path.getsize(path)
+        return total
+
+    def budget_for(self, program: str) -> Optional[int]:
+        """Simulated RAM: paper ratio times the L-size data footprint.
+
+        If L was not generated, extrapolate from the smallest generated
+        size (sizes scale linearly in rows).
+        """
+        if not self.enforce_budget:
+            return None
+        for size in ("L", "M", "S"):
+            byte_count = self.dataset_bytes(program, size)
+            if byte_count:
+                scale_up = SCALES["L"] / SCALES[size]
+                return int(RAM_RATIO * byte_count * scale_up)
+        raise RuntimeError(f"no data generated for {program}; call prepare()")
+
+    # -- execution -------------------------------------------------------------
+
+    def run(
+        self,
+        program: str,
+        mode: str,
+        size: str = "S",
+        flag_overrides: Optional[Dict[str, bool]] = None,
+    ) -> RunResult:
+        """Execute one cell of the evaluation grid."""
+        if mode not in _HEADERS:
+            raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
+        spec = PROGRAMS[program]
+        self.prepare([size], programs=[program])
+
+        source = _HEADERS[mode] + spec.body_for(
+            "dask" if mode == "dask" else "pandas"
+        )
+        result_dir = os.path.join(self.workdir, "results", program, mode, size)
+        os.makedirs(result_dir, exist_ok=True)
+        program_path = os.path.join(result_dir, f"{program}.py")
+        with open(program_path, "w") as f:
+            f.write(source)
+
+        self._reset_engines(mode, flag_overrides)
+        env_before = self._set_env(size, result_dir)
+        budget = self.budget_for(program)
+        memory_manager.reset()
+        memory_manager.budget = budget
+
+        captured = io.StringIO()
+        ok, error = True, None
+        start = time.perf_counter()
+        try:
+            with contextlib.redirect_stdout(captured):
+                runpy.run_path(program_path, run_name="__main__")
+        except SystemExit:
+            pass  # pd.analyze() replaced execution; normal completion
+        except MemoryError as exc:
+            ok, error = False, f"OOM: {exc}"
+        except Exception as exc:  # noqa: BLE001 - report, don't crash the grid
+            ok, error = False, f"{type(exc).__name__}: {exc}"
+        seconds = time.perf_counter() - start
+        peak = memory_manager.peak
+        memory_manager.budget = None
+        self._cleanup_engines()
+        self._restore_env(env_before)
+
+        digest = None
+        result_csv = os.path.join(result_dir, f"{program}.csv")
+        if ok and os.path.exists(result_csv):
+            digest = file_md5(result_csv)
+        return RunResult(
+            program=program,
+            mode=mode,
+            size=size,
+            ok=ok,
+            seconds=seconds,
+            peak_bytes=peak,
+            error=error,
+            result_hash=digest,
+            stdout=captured.getvalue(),
+        )
+
+    def run_grid(
+        self,
+        programs: Optional[List[str]] = None,
+        modes: Optional[List[str]] = None,
+        sizes: Iterable[str] = ("S",),
+    ) -> List[RunResult]:
+        out = []
+        for size in sizes:
+            for program in programs or sorted(PROGRAMS):
+                for mode in modes or MODES:
+                    out.append(self.run(program, mode, size))
+        return out
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _reset_engines(self, mode: str, flag_overrides) -> None:
+        from repro.workloads import dask_compat, plotlib
+
+        plotlib.state.reset()
+        dask_compat.reset()
+        backend = _BACKEND_OF_MODE.get(mode, "pandas")
+        session = reset_session(backend)
+        if mode in _BACKEND_OF_MODE:
+            session.metastore = self.metastore
+        if flag_overrides:
+            for key, value in flag_overrides.items():
+                setattr(session.flags, key, value)
+
+    def _cleanup_engines(self) -> None:
+        from repro.workloads import dask_compat
+
+        session = get_session()
+        backend = session._backend
+        if backend is not None and hasattr(backend, "store"):
+            backend.store.clear()
+        dask_compat.reset()
+
+    def _set_env(self, size: str, result_dir: str) -> Dict[str, Optional[str]]:
+        before = {
+            "LAFP_DATA_DIR": os.environ.get("LAFP_DATA_DIR"),
+            "LAFP_RESULT_DIR": os.environ.get("LAFP_RESULT_DIR"),
+        }
+        os.environ["LAFP_DATA_DIR"] = self.data_dir(size)
+        os.environ["LAFP_RESULT_DIR"] = result_dir
+        return before
+
+    @staticmethod
+    def _restore_env(before: Dict[str, Optional[str]]) -> None:
+        for key, value in before.items():
+            if value is None:
+                os.environ.pop(key, None)
+            else:
+                os.environ[key] = value
+
+    def cleanup(self) -> None:
+        shutil.rmtree(self.workdir, ignore_errors=True)

@@ -1,0 +1,58 @@
+"""Regression verification (section 5.2).
+
+The paper "built a regression test framework to ensure that the datasets
+computed with our optimizations were identical to the results on Pandas
+without any optimization, by computing and comparing hashes (computed
+using md5)".  :func:`verify_program` runs a program in every mode and
+compares each result hash against the unoptimized-pandas reference.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional
+
+from repro.workloads.runner import MODES, Runner
+
+
+@dataclasses.dataclass
+class VerifyReport:
+    """Hash-equality report for one program."""
+
+    program: str
+    reference_hash: Optional[str]
+    hashes: Dict[str, Optional[str]]
+    failures: List[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures and self.reference_hash is not None
+
+
+def verify_program(
+    runner: Runner,
+    program: str,
+    modes: Optional[List[str]] = None,
+    size: str = "S",
+) -> VerifyReport:
+    """Compare every mode's result hash against plain pandas."""
+    modes = modes or MODES
+    reference = runner.run(program, "pandas", size)
+    if not reference.ok:
+        return VerifyReport(
+            program, None, {}, [f"pandas reference failed: {reference.error}"]
+        )
+    hashes: Dict[str, Optional[str]] = {"pandas": reference.result_hash}
+    failures: List[str] = []
+    for mode in modes:
+        if mode == "pandas":
+            continue
+        result = runner.run(program, mode, size)
+        hashes[mode] = result.result_hash
+        if not result.ok:
+            failures.append(f"{mode}: failed ({result.error})")
+        elif result.result_hash != reference.result_hash:
+            failures.append(
+                f"{mode}: hash {result.result_hash} != {reference.result_hash}"
+            )
+    return VerifyReport(program, reference.result_hash, hashes, failures)

@@ -1,0 +1,56 @@
+"""Shared fixtures: clean session/memory state and CSV builders."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.session import reset_session
+from repro.frame import DataFrame
+from repro.memory import memory_manager
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Every test starts with a fresh session and unbudgeted memory."""
+    memory_manager.budget = None
+    memory_manager.reset()
+    reset_session("pandas")
+    yield
+    memory_manager.budget = None
+    reset_session("pandas")
+
+
+@pytest.fixture
+def make_csv(tmp_path):
+    """Write a dict-of-columns to a CSV file; returns the path."""
+
+    def _make(columns: dict, name: str = "data.csv") -> str:
+        path = os.path.join(tmp_path, name)
+        DataFrame(columns).to_csv(path)
+        return path
+
+    return _make
+
+
+@pytest.fixture
+def taxi_csv(make_csv):
+    """A small taxi-shaped table (the paper's running example)."""
+    n = 200
+    rng = np.random.default_rng(42)
+    return make_csv(
+        {
+            "tpep_pickup_datetime": np.array(
+                ["2024-03-%02d %02d:30:00" % (i % 28 + 1, i % 24) for i in range(n)],
+                dtype=object,
+            ),
+            "passenger_count": rng.integers(1, 6, n),
+            "fare_amount": np.round(rng.normal(15, 10, n), 2),
+            "tip_amount": np.round(np.abs(rng.normal(2, 1, n)), 2),
+            "vendor": np.array([f"v{i % 5}" for i in range(n)], dtype=object),
+            "note": np.array([f"note-{i}" for i in range(n)], dtype=object),
+        },
+        "taxi.csv",
+    )

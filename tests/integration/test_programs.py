@@ -1,0 +1,51 @@
+"""Integration: the ten benchmark programs across all six modes.
+
+The paper's regression framework (section 5.2): every (program, mode)
+combination must produce a result whose md5 equals the unoptimized-pandas
+reference.
+"""
+
+import pytest
+
+from repro.workloads.programs import PROGRAMS
+from repro.workloads.runner import MODES, Runner
+from repro.workloads.verify import verify_program
+
+
+@pytest.fixture(scope="module")
+def runner():
+    r = Runner(base_rows=1200, enforce_budget=False)
+    r.prepare(["S"])
+    yield r
+    r.cleanup()
+
+
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+def test_all_modes_hash_identical(runner, program):
+    report = verify_program(runner, program, size="S")
+    assert report.ok, f"{program}: {report.failures}"
+
+
+@pytest.mark.parametrize("program", sorted(PROGRAMS))
+def test_lafp_pandas_runs_and_reports_optimizations(runner, program):
+    result = runner.run(program, "lafp_pandas", "S")
+    assert result.ok, result.error
+    assert result.seconds > 0
+    assert result.peak_bytes > 0
+
+
+def test_program_inventory_matches_paper(runner):
+    assert sorted(PROGRAMS) == [
+        "ais", "cty", "dso", "emp", "env", "fdb", "mov", "nyt", "stu", "zip",
+    ]
+
+
+def test_every_program_saves_a_result(runner):
+    for program in sorted(PROGRAMS):
+        result = runner.run(program, "pandas", "S")
+        assert result.result_hash is not None, program
+
+
+def test_stdout_captured_not_leaked(runner, capsys):
+    runner.run("cty", "lafp_dask", "S")
+    assert capsys.readouterr().out == ""

@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) for the frame engine's invariants.
+
+Each property checks the columnar engine against a plain-Python
+reference implementation over randomly generated tables.
+"""
+
+import math
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.frame import DataFrame, Series, concat, merge
+
+# -- strategies -------------------------------------------------------------
+
+ints = st.integers(min_value=-10_000, max_value=10_000)
+floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+words = st.text(
+    alphabet="abcdefgh", min_size=1, max_size=6
+)
+
+
+@st.composite
+def tables(draw, min_rows=0, max_rows=60):
+    n = draw(st.integers(min_value=min_rows, max_value=max_rows))
+    return {
+        "i": draw(st.lists(ints, min_size=n, max_size=n)),
+        "f": draw(st.lists(floats, min_size=n, max_size=n)),
+        "s": draw(st.lists(words, min_size=n, max_size=n)),
+    }
+
+
+# -- filtering ----------------------------------------------------------------
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_filter_matches_reference(data):
+    frame = DataFrame(data)
+    out = frame[frame["i"] > 0]
+    expected = [v for v in data["i"] if v > 0]
+    assert out["i"].to_list() == expected
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_filter_complement_partitions_rows(data):
+    frame = DataFrame(data)
+    mask = frame["i"] > 0
+    kept = frame[mask]
+    dropped = frame[~mask]
+    assert len(kept) + len(dropped) == len(frame)
+
+
+# -- sorting --------------------------------------------------------------------
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=60, deadline=None)
+def test_sort_values_sorted_and_permutation(data):
+    frame = DataFrame(data)
+    out = frame.sort_values("i")
+    values = out["i"].to_list()
+    assert values == sorted(data["i"])
+    assert sorted(out["s"].to_list()) == sorted(data["s"])
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=40, deadline=None)
+def test_sort_desc_is_reverse_of_asc_for_unique_keys(data):
+    unique = {}
+    for i, v in enumerate(data["i"]):
+        unique.setdefault(v, i)
+    frame = DataFrame({"i": list(unique.keys())})
+    asc = frame.sort_values("i")["i"].to_list()
+    desc = frame.sort_values("i", ascending=False)["i"].to_list()
+    assert desc == list(reversed(asc))
+
+
+# -- dedup ------------------------------------------------------------------------
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_drop_duplicates_reference(data):
+    frame = DataFrame(data)
+    out = frame.drop_duplicates(subset=["s"])
+    seen, expected = set(), []
+    for v in data["s"]:
+        if v not in seen:
+            seen.add(v)
+            expected.append(v)
+    assert out["s"].to_list() == expected
+
+
+# -- groupby --------------------------------------------------------------------------
+
+
+@given(tables())
+@settings(max_examples=60, deadline=None)
+def test_groupby_sum_reference(data):
+    frame = DataFrame(data)
+    out = frame.groupby("s")["i"].sum()
+    expected = {}
+    for key, value in zip(data["s"], data["i"]):
+        expected[key] = expected.get(key, 0) + value
+    got = dict(zip(out.index.to_array(), out.values))
+    assert {k: int(v) for k, v in got.items()} == expected
+
+
+@given(tables())
+@settings(max_examples=40, deadline=None)
+def test_groupby_size_totals_rows(data):
+    frame = DataFrame(data)
+    out = frame.groupby("s").size()
+    assert out.values.sum() == len(frame)
+
+
+@given(tables(min_rows=1))
+@settings(max_examples=40, deadline=None)
+def test_groupby_mean_bounded_by_min_max(data):
+    frame = DataFrame(data)
+    means = frame.groupby("s")["f"].mean()
+    mins = frame.groupby("s")["f"].min()
+    maxs = frame.groupby("s")["f"].max()
+    for lo, mid, hi in zip(mins.values, means.values, maxs.values):
+        assert lo - 1e-9 <= mid <= hi + 1e-9
+
+
+# -- merge -----------------------------------------------------------------------------
+
+
+@given(tables(max_rows=30), tables(max_rows=30))
+@settings(max_examples=40, deadline=None)
+def test_inner_merge_matches_nested_loop(left_data, right_data):
+    left = DataFrame({"k": left_data["s"], "lv": left_data["i"]})
+    right = DataFrame({"k": right_data["s"], "rv": right_data["i"]})
+    out = merge(left, right, on="k")
+    expected = [
+        (lk, lv, rv)
+        for lk, lv in zip(left_data["s"], left_data["i"])
+        for rk, rv in zip(right_data["s"], right_data["i"])
+        if lk == rk
+    ]
+    got = list(zip(out["k"].to_list(), out["lv"].to_list(), out["rv"].to_list()))
+    assert sorted(got) == sorted(expected)
+
+
+@given(tables(max_rows=30))
+@settings(max_examples=40, deadline=None)
+def test_left_merge_keeps_all_left_rows(data):
+    left = DataFrame({"k": data["s"], "v": data["i"]})
+    right = DataFrame({"k": ["a"], "w": [1]})
+    out = merge(left, right, on="k", how="left")
+    assert len(out) >= len(left)
+
+
+# -- concat / roundtrip ------------------------------------------------------------------
+
+
+@given(tables(), tables())
+@settings(max_examples=40, deadline=None)
+def test_concat_length_and_order(data_a, data_b):
+    a, b = DataFrame(data_a), DataFrame(data_b)
+    out = concat([a, b])
+    assert len(out) == len(a) + len(b)
+    assert out["i"].to_list() == data_a["i"] + data_b["i"]
+
+
+@given(tables())
+@settings(max_examples=30, deadline=None)
+def test_csv_roundtrip(tmp_path_factory, data):
+    import os
+
+    frame = DataFrame(data)
+    path = os.path.join(
+        tmp_path_factory.mktemp("prop"), "roundtrip.csv"
+    )
+    frame.to_csv(path)
+    from repro.frame import read_csv
+
+    again = read_csv(path)
+    assert len(again) == len(frame)
+    assert again["i"].to_list() == data["i"]
+    # str() writes the shortest exact repr, so the roundtrip is bit-exact
+    assert [float(v) for v in again["f"].to_list()] == data["f"]
+
+
+# -- category invariants --------------------------------------------------------------------
+
+
+@given(st.lists(words, min_size=0, max_size=80))
+@settings(max_examples=60, deadline=None)
+def test_category_roundtrip_identity(values):
+    series = Series(np.array(values, dtype=object))
+    encoded = series.astype("category")
+    assert encoded.values.tolist() == values
+
+
+@given(st.lists(words, min_size=1, max_size=80))
+@settings(max_examples=40, deadline=None)
+def test_category_nunique_matches_set(values):
+    series = Series(np.array(values, dtype=object)).astype("category")
+    assert series.nunique() == len(set(values))
+
+
+# -- series aggregation -------------------------------------------------------------------------
+
+
+@given(st.lists(floats, min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_sum_mean_consistent(values):
+    series = Series(values)
+    assert math.isclose(
+        series.sum(), sum(values), rel_tol=1e-9, abs_tol=1e-6
+    )
+    assert math.isclose(
+        series.mean(), sum(values) / len(values), rel_tol=1e-9, abs_tol=1e-6
+    )
+
+
+@given(st.lists(ints, min_size=1, max_size=100))
+@settings(max_examples=60, deadline=None)
+def test_min_max_bound_all_values(values):
+    series = Series(values)
+    assert series.min() == min(values)
+    assert series.max() == max(values)

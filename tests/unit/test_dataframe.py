@@ -1,0 +1,232 @@
+"""Unit tests for DataFrame: construction, selection, transforms."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, Series
+
+
+def df_basic():
+    return DataFrame(
+        {
+            "a": [1, 2, 3, 4],
+            "b": [1.5, 2.5, np.nan, 4.5],
+            "c": ["x", "y", "x", None],
+        }
+    )
+
+
+class TestConstruction:
+    def test_from_dict(self):
+        frame = df_basic()
+        assert frame.shape == (4, 3)
+        assert frame.columns == ["a", "b", "c"]
+
+    def test_from_records(self):
+        frame = DataFrame([{"a": 1, "b": "x"}, {"a": 2, "b": "y"}])
+        assert frame.shape == (2, 2)
+
+    def test_empty(self):
+        frame = DataFrame({})
+        assert frame.empty
+        assert len(frame) == 0
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            DataFrame({"a": [1, 2], "b": [1]})
+
+    def test_column_subset_selection_via_columns_kw(self):
+        frame = DataFrame({"a": [1], "b": [2]}, columns=["b"])
+        assert frame.columns == ["b"]
+
+    def test_dtypes(self):
+        dtypes = df_basic().dtypes
+        assert dtypes["a"] == np.dtype("int64")
+        assert dtypes["b"] == np.dtype("float64")
+        assert dtypes["c"] == np.dtype(object)
+
+
+class TestSelection:
+    def test_getitem_column(self):
+        s = df_basic()["a"]
+        assert isinstance(s, Series)
+        assert s.to_list() == [1, 2, 3, 4]
+
+    def test_getitem_missing_raises(self):
+        with pytest.raises(KeyError):
+            df_basic()["zzz"]
+
+    def test_getitem_list(self):
+        out = df_basic()[["b", "a"]]
+        assert out.columns == ["b", "a"]
+
+    def test_getitem_mask(self):
+        frame = df_basic()
+        out = frame[frame["a"] > 2]
+        assert len(out) == 2
+        assert out["a"].to_list() == [3, 4]
+
+    def test_mask_length_mismatch_rejected(self):
+        frame = df_basic()
+        with pytest.raises(ValueError):
+            frame[np.array([True])]
+
+    def test_getattr_column(self):
+        assert df_basic().a.to_list() == [1, 2, 3, 4]
+
+    def test_getattr_missing(self):
+        with pytest.raises(AttributeError):
+            df_basic().zzz
+
+    def test_slice_rows(self):
+        assert len(df_basic()[1:3]) == 2
+
+    def test_head_tail(self):
+        assert len(df_basic().head(2)) == 2
+        assert df_basic().tail(1)["a"].to_list() == [4]
+
+    def test_iloc_row(self):
+        row = df_basic().iloc[0]
+        assert row["a"] == 1
+
+    def test_iloc_negative(self):
+        assert df_basic().iloc[-1]["a"] == 4
+
+    def test_loc_mask_and_columns(self):
+        frame = df_basic()
+        out = frame.loc[frame.a > 2, "a"]
+        assert out.to_list() == [3, 4]
+
+    def test_contains(self):
+        assert "a" in df_basic()
+        assert "zzz" not in df_basic()
+
+
+class TestMutation:
+    def test_setitem_scalar(self):
+        frame = df_basic()
+        frame["k"] = 7
+        assert frame["k"].to_list() == [7] * 4
+
+    def test_setitem_series(self):
+        frame = df_basic()
+        frame["double"] = frame["a"] * 2
+        assert frame["double"].to_list() == [2, 4, 6, 8]
+
+    def test_setitem_length_mismatch_rejected(self):
+        frame = df_basic()
+        with pytest.raises(ValueError):
+            frame["bad"] = [1, 2]
+
+    def test_with_column_copies(self):
+        frame = df_basic()
+        out = frame.with_column("n", 0)
+        assert "n" in out.columns
+        assert "n" not in frame.columns
+
+
+class TestTransforms:
+    def test_drop_columns(self):
+        out = df_basic().drop(columns=["b"])
+        assert out.columns == ["a", "c"]
+
+    def test_drop_axis1(self):
+        out = df_basic().drop("b", axis=1)
+        assert "b" not in out.columns
+
+    def test_rename(self):
+        out = df_basic().rename(columns={"a": "alpha"})
+        assert out.columns == ["alpha", "b", "c"]
+
+    def test_assign(self):
+        out = df_basic().assign(total=lambda d: d["a"] + 1)
+        assert out["total"].to_list() == [2, 3, 4, 5]
+
+    def test_astype_dict(self):
+        out = df_basic().astype({"a": "float64"})
+        assert out.dtypes["a"] == np.dtype("float64")
+
+    def test_select_dtypes(self):
+        nums = df_basic().select_dtypes("number")
+        assert nums.columns == ["a", "b"]
+        objs = df_basic().select_dtypes("object")
+        assert objs.columns == ["c"]
+
+    def test_dropna_all_columns(self):
+        out = df_basic().dropna()
+        assert len(out) == 2
+
+    def test_dropna_subset(self):
+        out = df_basic().dropna(subset=["b"])
+        assert len(out) == 3
+
+    def test_fillna_scalar(self):
+        out = df_basic().fillna(0)
+        assert out["b"].to_list() == [1.5, 2.5, 0.0, 4.5]
+
+    def test_fillna_dict(self):
+        out = df_basic().fillna({"c": "zz"})
+        assert out["c"].to_list() == ["x", "y", "x", "zz"]
+
+    def test_copy_is_independent(self):
+        frame = df_basic()
+        clone = frame.copy()
+        clone["a"] = 0
+        assert frame["a"].to_list() == [1, 2, 3, 4]
+
+    def test_reset_index(self):
+        frame = df_basic()[df_basic()["a"] > 2]
+        out = frame.reset_index()
+        assert "index" in out.columns
+
+    def test_set_index(self):
+        out = df_basic().set_index("c")
+        assert out.columns == ["a", "b"]
+        assert out.index.name == "c"
+
+    def test_sample_deterministic(self):
+        a = df_basic().sample(2, seed=1)["a"].to_list()
+        b = df_basic().sample(2, seed=1)["a"].to_list()
+        assert a == b
+
+
+class TestRowwise:
+    def test_apply_axis1(self):
+        out = df_basic().apply(lambda row: row["a"] * 10, axis=1)
+        assert out.to_list() == [10, 20, 30, 40]
+
+    def test_apply_axis0_rejected(self):
+        with pytest.raises(ValueError):
+            df_basic().apply(lambda c: c, axis=0)
+
+    def test_itertuples(self):
+        rows = list(df_basic()[["a"]].itertuples())
+        assert rows == [(1,), (2,), (3,), (4,)]
+
+
+class TestSummaries:
+    def test_describe_shape(self):
+        desc = df_basic().describe()
+        assert desc.columns == ["a", "b"]
+        assert len(desc) == 5
+
+    def test_info_mentions_columns(self):
+        text = df_basic().info()
+        assert "a:" in text and "rows" in text
+
+    def test_sum_mean_count(self):
+        frame = df_basic()
+        sums = dict(zip(frame.sum().index.to_array(), frame.sum().values))
+        assert sums["a"] == 10
+        counts = dict(zip(frame.count().index.to_array(), frame.count().values))
+        assert counts["c"] == 3
+
+    def test_memory_usage_positive(self):
+        usage = df_basic().memory_usage()
+        assert all(v > 0 for v in usage.values)
+
+    def test_nbytes(self):
+        assert df_basic().nbytes > 0
+
+    def test_repr_footer(self):
+        assert "[4 rows x 3 columns]" in repr(df_basic())

@@ -1,0 +1,259 @@
+"""Unit tests for groupby, merge, sorting, dedup, and concat."""
+
+import numpy as np
+import pytest
+
+from repro.frame import DataFrame, concat, merge
+
+
+def sales():
+    return DataFrame(
+        {
+            "region": ["e", "w", "e", "w", "e"],
+            "product": ["a", "a", "b", "b", "a"],
+            "units": [1, 2, 3, 4, 5],
+            "price": [10.0, 20.0, 30.0, np.nan, 50.0],
+        }
+    )
+
+
+class TestGroupBy:
+    def test_single_key_sum(self):
+        out = sales().groupby("region")["units"].sum()
+        assert dict(zip(out.index.to_array(), out.values)) == {"e": 9, "w": 6}
+
+    def test_mean_skips_na(self):
+        out = sales().groupby("region")["price"].mean()
+        got = dict(zip(out.index.to_array(), out.values))
+        assert got["e"] == pytest.approx(30.0)
+        assert got["w"] == pytest.approx(20.0)
+
+    def test_count_skips_na(self):
+        out = sales().groupby("region")["price"].count()
+        assert dict(zip(out.index.to_array(), out.values)) == {"e": 3, "w": 1}
+
+    def test_min_max(self):
+        gb = sales().groupby("region")["units"]
+        assert dict(zip(gb.min().index.to_array(), gb.min().values)) == {"e": 1, "w": 2}
+        assert dict(zip(gb.max().index.to_array(), gb.max().values)) == {"e": 5, "w": 4}
+
+    def test_size_counts_rows(self):
+        out = sales().groupby("region").size()
+        assert dict(zip(out.index.to_array(), out.values)) == {"e": 3, "w": 2}
+
+    def test_multi_key(self):
+        out = sales().groupby(["region", "product"])["units"].sum()
+        assert len(out) == 4
+
+    def test_na_keys_dropped(self):
+        frame = DataFrame({"k": ["a", None, "a"], "v": [1, 2, 3]})
+        out = frame.groupby("k")["v"].sum()
+        assert len(out) == 1
+        assert out.values[0] == 4
+
+    def test_agg_dict(self):
+        out = sales().groupby("region").agg({"units": "sum", "price": "count"})
+        assert out.columns == ["units", "price"]
+
+    def test_agg_multi_func(self):
+        out = sales().groupby("region").agg({"units": ["sum", "mean"]})
+        assert out.columns == ["units_sum", "units_mean"]
+
+    def test_as_index_false_keeps_key_columns(self):
+        out = sales().groupby("region", as_index=False).agg({"units": "max"})
+        assert "region" in out.columns
+
+    def test_std(self):
+        out = sales().groupby("product")["units"].std()
+        expected = np.std([1, 2, 5], ddof=1)
+        got = dict(zip(out.index.to_array(), out.values))
+        assert got["a"] == pytest.approx(expected)
+
+    def test_nunique(self):
+        out = sales().groupby("region")["product"].nunique()
+        assert dict(zip(out.index.to_array(), out.values)) == {"e": 2, "w": 2}
+
+    def test_first(self):
+        out = sales().groupby("region")["product"].first()
+        assert dict(zip(out.index.to_array(), out.values)) == {"e": "a", "w": "a"}
+
+    def test_non_numeric_sum_rejected(self):
+        with pytest.raises(TypeError):
+            sales().groupby("region")["product"].sum()
+
+    def test_missing_key_rejected(self):
+        with pytest.raises(KeyError):
+            sales().groupby("zzz")
+
+    def test_datetime_min(self):
+        frame = DataFrame(
+            {
+                "k": ["a", "a", "b"],
+                "t": np.array(
+                    ["2024-01-02", "2024-01-01", "2024-02-01"],
+                    dtype="datetime64[ns]",
+                ),
+            }
+        )
+        out = frame.groupby("k").agg({"t": "min"})
+        assert out["t"].values[0] == np.datetime64("2024-01-01")
+
+    def test_frame_groupby_multi_columns(self):
+        out = sales().groupby("region")[["units", "price"]].sum()
+        assert out.columns == ["units", "price"]
+
+
+class TestMerge:
+    def left(self):
+        return DataFrame({"k": [1, 2, 3], "l": ["a", "b", "c"]})
+
+    def right(self):
+        return DataFrame({"k": [2, 3, 4], "r": ["x", "y", "z"]})
+
+    def test_inner(self):
+        out = merge(self.left(), self.right(), on="k")
+        assert out["k"].to_list() == [2, 3]
+        assert out["r"].to_list() == ["x", "y"]
+
+    def test_left(self):
+        out = merge(self.left(), self.right(), on="k", how="left")
+        assert len(out) == 3
+        assert out["r"].to_list() == [None, "x", "y"]
+
+    def test_right(self):
+        out = merge(self.left(), self.right(), on="k", how="right")
+        assert sorted(out["k"].to_list()) == [2, 3, 4]
+
+    def test_outer(self):
+        out = merge(self.left(), self.right(), on="k", how="outer")
+        assert sorted(out["k"].to_list()) == [1, 2, 3, 4]
+
+    def test_one_to_many(self):
+        right = DataFrame({"k": [2, 2], "r": ["x1", "x2"]})
+        out = merge(self.left(), right, on="k")
+        assert len(out) == 2
+
+    def test_left_on_right_on(self):
+        right = DataFrame({"key2": [2], "r": ["x"]})
+        out = merge(self.left(), right, left_on="k", right_on="key2")
+        assert out["l"].to_list() == ["b"]
+
+    def test_multi_key(self):
+        left = DataFrame({"a": [1, 1], "b": ["x", "y"], "v": [10, 20]})
+        right = DataFrame({"a": [1], "b": ["y"], "w": [99]})
+        out = merge(left, right, on=["a", "b"])
+        assert out["v"].to_list() == [20]
+
+    def test_overlapping_columns_suffixed(self):
+        left = DataFrame({"k": [1], "v": [10]})
+        right = DataFrame({"k": [1], "v": [20]})
+        out = merge(left, right, on="k")
+        assert set(out.columns) == {"k", "v_x", "v_y"}
+
+    def test_int_na_promotes_to_float(self):
+        right = DataFrame({"k": [2], "num": [7]})
+        out = merge(self.left(), right, on="k", how="left")
+        assert np.isnan(out["num"].values[0])
+
+    def test_unsupported_how_rejected(self):
+        with pytest.raises(ValueError):
+            merge(self.left(), self.right(), on="k", how="cross")
+
+    def test_no_common_columns_rejected(self):
+        with pytest.raises(ValueError):
+            merge(DataFrame({"a": [1]}), DataFrame({"b": [1]}))
+
+    def test_natural_join_on_common_columns(self):
+        out = merge(self.left(), self.right())
+        assert out["k"].to_list() == [2, 3]
+
+
+class TestSorting:
+    def test_sort_single_asc(self):
+        frame = DataFrame({"a": [3, 1, 2]})
+        assert frame.sort_values("a")["a"].to_list() == [1, 2, 3]
+
+    def test_sort_desc(self):
+        frame = DataFrame({"a": [3, 1, 2]})
+        assert frame.sort_values("a", ascending=False)["a"].to_list() == [3, 2, 1]
+
+    def test_sort_string_column(self):
+        frame = DataFrame({"a": ["b", "a", "c"]})
+        assert frame.sort_values("a")["a"].to_list() == ["a", "b", "c"]
+
+    def test_sort_multi_key_mixed_order(self):
+        frame = DataFrame({"g": ["x", "y", "x", "y"], "v": [1, 2, 3, 4]})
+        out = frame.sort_values(["g", "v"], ascending=[True, False])
+        assert out["g"].to_list() == ["x", "x", "y", "y"]
+        assert out["v"].to_list() == [3, 1, 4, 2]
+
+    def test_sort_is_stable(self):
+        frame = DataFrame({"k": [1, 1, 1], "tag": ["first", "second", "third"]})
+        out = frame.sort_values("k")
+        assert out["tag"].to_list() == ["first", "second", "third"]
+
+    def test_nlargest_nsmallest(self):
+        frame = DataFrame({"a": [5, 1, 9, 3]})
+        assert frame.nlargest(2, "a")["a"].to_list() == [9, 5]
+        assert frame.nsmallest(2, "a")["a"].to_list() == [1, 3]
+
+    def test_sort_index(self):
+        frame = DataFrame({"a": [1, 2, 3]})
+        shuffled = frame.take(np.array([2, 0, 1]))
+        assert shuffled.sort_index()["a"].to_list() == [1, 2, 3]
+
+
+class TestDedup:
+    def test_drop_duplicates_all_columns(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["x", "x", "y"]})
+        assert len(frame.drop_duplicates()) == 2
+
+    def test_drop_duplicates_subset_keeps_first(self):
+        frame = DataFrame({"a": [1, 1, 2], "b": ["p", "q", "r"]})
+        out = frame.drop_duplicates(subset=["a"])
+        assert out["b"].to_list() == ["p", "r"]
+
+    def test_duplicated_flags(self):
+        frame = DataFrame({"a": [1, 1, 2]})
+        assert frame.duplicated(subset=["a"]).to_list() == [False, True, False]
+
+
+class TestConcat:
+    def test_frames(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2]})
+        assert concat([a, b])["x"].to_list() == [1, 2]
+
+    def test_missing_columns_filled_with_na(self):
+        a = DataFrame({"x": [1], "y": ["p"]})
+        b = DataFrame({"x": [2]})
+        out = concat([a, b])
+        assert out["y"].to_list() == ["p", None]
+
+    def test_int_float_promotion(self):
+        a = DataFrame({"x": [1]})
+        b = DataFrame({"x": [2.5]})
+        assert concat([a, b])["x"].values.dtype == np.float64
+
+    def test_series(self):
+        from repro.frame import Series
+
+        out = concat([Series([1]), Series([2])])
+        assert out.to_list() == [1, 2]
+
+    def test_empty_list_rejected(self):
+        with pytest.raises(ValueError):
+            concat([])
+
+    def test_none_entries_skipped(self):
+        out = concat([DataFrame({"x": [1]}), None])
+        assert len(out) == 1
+
+    def test_consuming_concat_empties_inputs(self):
+        from repro.frame.concat import concat_consuming
+
+        a = DataFrame({"x": [1, 2]})
+        b = DataFrame({"x": [3]})
+        out = concat_consuming([a, b])
+        assert out["x"].to_list() == [1, 2, 3]
+        assert a.columns == [] or "x" not in a.columns

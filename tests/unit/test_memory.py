@@ -1,0 +1,149 @@
+"""Unit tests for the simulated memory substrate."""
+
+import gc
+import threading
+
+import pytest
+
+from repro.memory import (
+    MemoryManager,
+    SimulatedMemoryError,
+    TrackedBuffer,
+    memory_budget,
+    memory_manager,
+)
+
+
+class TestMemoryManager:
+    def test_register_increases_live(self):
+        manager = MemoryManager()
+        manager.register(100)
+        assert manager.live == 100
+
+    def test_release_decreases_live(self):
+        manager = MemoryManager()
+        manager.register(100)
+        manager.release(40)
+        assert manager.live == 60
+
+    def test_peak_tracks_high_water(self):
+        manager = MemoryManager()
+        manager.register(100)
+        manager.release(100)
+        manager.register(30)
+        assert manager.peak == 100
+        assert manager.live == 30
+
+    def test_reset_peak_starts_from_current(self):
+        manager = MemoryManager()
+        manager.register(100)
+        manager.release(80)
+        manager.reset_peak()
+        assert manager.peak == 20
+
+    def test_budget_enforced(self):
+        manager = MemoryManager(budget=100)
+        manager.register(60)
+        with pytest.raises(SimulatedMemoryError):
+            manager.register(50)
+
+    def test_budget_exactly_full_is_allowed(self):
+        manager = MemoryManager(budget=100)
+        manager.register(100)
+        assert manager.live == 100
+
+    def test_oom_counts(self):
+        manager = MemoryManager(budget=10)
+        with pytest.raises(SimulatedMemoryError):
+            manager.register(11)
+        assert manager.oom_count == 1
+
+    def test_oom_is_memory_error(self):
+        manager = MemoryManager(budget=10)
+        with pytest.raises(MemoryError):
+            manager.register(11)
+
+    def test_oom_carries_diagnostics(self):
+        manager = MemoryManager(budget=10)
+        manager.register(4)
+        with pytest.raises(SimulatedMemoryError) as exc:
+            manager.register(20)
+        assert exc.value.requested == 20
+        assert exc.value.live == 4
+        assert exc.value.budget == 10
+
+    def test_headroom(self):
+        manager = MemoryManager(budget=100)
+        manager.register(30)
+        assert manager.headroom() == 70
+
+    def test_headroom_unbudgeted(self):
+        assert MemoryManager().headroom() is None
+
+    def test_negative_register_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryManager().register(-1)
+
+    def test_over_release_clamps_to_zero(self):
+        manager = MemoryManager()
+        manager.register(10)
+        manager.release(50)
+        assert manager.live == 0
+
+    def test_reset_clears_everything(self):
+        manager = MemoryManager()
+        manager.register(10)
+        manager.reset()
+        assert manager.live == 0
+        assert manager.peak == 0
+
+    def test_thread_safety_of_register_release(self):
+        manager = MemoryManager()
+
+        def worker():
+            for _ in range(1000):
+                manager.register(8)
+                manager.release(8)
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert manager.live == 0
+
+
+class TestTrackedBuffer:
+    def test_buffer_registers_on_creation(self):
+        before = memory_manager.live
+        buffer = TrackedBuffer(512)
+        assert memory_manager.live == before + 512
+        buffer.release()
+
+    def test_buffer_releases_on_gc(self):
+        before = memory_manager.live
+        buffer = TrackedBuffer(256)
+        del buffer
+        gc.collect()
+        assert memory_manager.live == before
+
+    def test_explicit_release_is_idempotent(self):
+        before = memory_manager.live
+        buffer = TrackedBuffer(128)
+        buffer.release()
+        buffer.release()
+        assert memory_manager.live == before
+
+
+class TestMemoryBudgetContext:
+    def test_budget_installed_and_restored(self):
+        assert memory_manager.budget is None
+        with memory_budget(1 << 20):
+            assert memory_manager.budget == 1 << 20
+        assert memory_manager.budget is None
+
+    def test_budget_restored_on_error(self):
+        with pytest.raises(RuntimeError):
+            with memory_budget(1 << 20):
+                raise RuntimeError("boom")
+        assert memory_manager.budget is None

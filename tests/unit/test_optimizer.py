@@ -1,0 +1,302 @@
+"""Unit tests for the runtime optimizer rules (section 3)."""
+
+import numpy as np
+import pytest
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.core.optimizer import (
+    apply_metadata_hints,
+    eliminate_common_subexpressions,
+    persist_shared_nodes,
+    push_down_predicates,
+    push_down_projections,
+)
+from repro.core.optimizer.predicate_pushdown import structurally_equal
+from repro.core.session import get_session, reset_session
+from repro.graph import Node, collect_subgraph, node_counter
+from repro.metastore import MetaStore
+
+
+@pytest.fixture(autouse=True)
+def _pandas_backend():
+    lfp.BACKEND_ENGINE = lfp.BackendEngines.PANDAS
+    reset_session("pandas")
+    yield
+    lfp.BACKEND_ENGINE = lfp.BackendEngines.DASK
+
+
+def _ops_below(root, op):
+    return [n for n in collect_subgraph([root]) if n.op == op]
+
+
+class TestPredicatePushdown:
+    def test_filter_moves_below_setitem(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv, parse_dates=["tpep_pickup_datetime"])
+        df["day"] = df.tpep_pickup_datetime.dt.dayofweek
+        filtered = df[df.fare_amount > 0]
+        root = filtered.node
+        swaps = push_down_predicates([root])
+        assert swaps >= 1
+        # after pushdown the setitem consumes a filter, not the raw read
+        setitems = _ops_below(root, "setitem")
+        assert any(s.inputs[0].op == "filter" for s in setitems)
+
+    def test_pushdown_result_is_correct(self, taxi_csv):
+        from repro.frame import read_csv
+
+        df = lfp.read_csv(taxi_csv, parse_dates=["tpep_pickup_datetime"])
+        df["day"] = df.tpep_pickup_datetime.dt.dayofweek
+        filtered = df[df.fare_amount > 0]
+        result = filtered.groupby(["day"])["passenger_count"].sum().compute()
+
+        eager = read_csv(taxi_csv, parse_dates=["tpep_pickup_datetime"])
+        eager["day"] = eager.tpep_pickup_datetime.dt.dayofweek
+        expected = (
+            eager[eager.fare_amount > 0]
+            .groupby(["day"])["passenger_count"]
+            .sum()
+        )
+        assert np.array_equal(
+            np.sort(result.values), np.sort(expected.values)
+        )
+
+    def test_not_pushed_below_groupby(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        agg = df.groupby(["vendor"], as_index=False).agg({"fare_amount": "sum"})
+        filtered = agg[agg.fare_amount > 100.0]
+        swaps = push_down_predicates([filtered.node])
+        assert swaps == 0
+
+    def test_not_pushed_below_merge(self):
+        left = lfp.DataFrame({"k": [1, 2], "v": [1.0, 2.0]})
+        right = lfp.DataFrame({"k": [1], "w": [5.0]})
+        joined = left.merge(right, on="k")
+        filtered = joined[joined.w > 0]
+        assert push_down_predicates([filtered.node]) == 0
+
+    def test_not_pushed_when_setitem_modifies_used_column(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        df["fare_amount"] = df.fare_amount * 2  # modifies the filter column
+        filtered = df[df.fare_amount > 0]
+        setitem_node = df.node
+        push_down_predicates([filtered.node])
+        # the setitem must still consume the read directly
+        assert setitem_node.inputs[0].op == "read_csv"
+
+    def test_not_pushed_when_intermediate_has_other_consumer(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        df["k"] = df.passenger_count + 1
+        other_use = df.k.sum()  # second consumer of the setitem
+        filtered = df[df.fare_amount > 0]
+        push_down_predicates([filtered.node, other_use.node])
+        assert df.node.inputs[0].op == "read_csv"
+
+    def test_same_filter_multi_parent_merged(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        df["k"] = df.passenger_count + 1
+        a = df[df.fare_amount > 0]
+        b = df[df.fare_amount > 0]
+        merged = push_down_predicates([a.node, b.node])
+        assert merged >= 1
+        assert df.node.inputs[0].op == "filter"
+
+    def test_conjunction_pushed_for_different_filters(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        df["k"] = df.passenger_count + 1
+        a = df[df.fare_amount > 0]
+        b = df[df.tip_amount > 1]
+        push_down_predicates([a.node, b.node])
+        pushed = df.node.inputs[0]
+        assert pushed.op == "filter"
+        assert pushed.inputs[1].args.get("op") == "&"
+
+    def test_structural_equality(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        m1 = (df.fare_amount > 0).node
+        m2 = (df.fare_amount > 0).node
+        m3 = (df.fare_amount > 1).node
+        assert structurally_equal(m1, m2)
+        assert not structurally_equal(m1, m3)
+
+
+class TestCSE:
+    def test_identical_chains_merge(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        a = df[df.fare_amount > 0].passenger_count.sum()
+        b = df[df.fare_amount > 0].passenger_count.sum()
+        merged = eliminate_common_subexpressions([a.node, b.node])
+        assert merged >= 2
+
+    def test_different_predicates_not_merged(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        a = df[df.fare_amount > 0].node
+        b = df[df.fare_amount > 1].node
+        eliminate_common_subexpressions([a, b])
+        assert a is not b
+        assert a.inputs[1] is not b.inputs[1]
+
+    def test_udf_nodes_never_merge(self):
+        df = lfp.DataFrame({"x": [1]})
+        a = df.x.map(lambda v: v).node
+        b = df.x.map(lambda v: v).node
+        eliminate_common_subexpressions([a, b])
+        # the identical getitem below may merge; the UDF maps must not
+        maps = [n for n in collect_subgraph([a, b]) if n.op == "series_map"]
+        assert len(maps) == 2
+
+    def test_prints_never_merge(self):
+        p1 = Node("print", args={"segments": []})
+        p2 = Node("print", args={"segments": []})
+        assert eliminate_common_subexpressions([p1, p2]) == 0
+
+    def test_persist_shared_nodes_marks_multi_consumer_frames(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        filtered = df[df.fare_amount > 0]
+        a = filtered.passenger_count.sum()
+        b = filtered.tip_amount.sum()
+        marked = persist_shared_nodes([a.node, b.node])
+        assert filtered.node in marked
+
+    def test_persist_shared_ignores_single_consumer(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        filtered = df[df.fare_amount > 0]
+        a = filtered.passenger_count.sum()
+        marked = persist_shared_nodes([a.node])
+        assert filtered.node not in marked
+
+
+class TestProjectionPushdown:
+    def test_usecols_inferred_for_aggregation(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        total = df.groupby(["vendor"])["fare_amount"].sum()
+        narrowed = push_down_projections([total.node])
+        assert narrowed == 1
+        read = _ops_below(total.node, "read_csv")[0]
+        assert set(read.args["usecols"]) == {"vendor", "fare_amount"}
+
+    def test_setitem_column_not_required_from_source(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        df["extra"] = df.fare_amount * 2
+        out = df.groupby(["vendor"])["extra"].sum()
+        push_down_projections([out.node])
+        read = _ops_below(out.node, "read_csv")[0]
+        assert "extra" not in read.args["usecols"]
+        assert "fare_amount" in read.args["usecols"]
+
+    def test_whole_frame_root_blocks_projection(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        filtered = df[df.fare_amount > 0]
+        assert push_down_projections([filtered.node]) == 0
+        assert filtered.node.inputs[0].args.get("usecols") is None
+
+    def test_head_print_heuristic_allows_projection(self, taxi_csv):
+        from repro.lazyfatpandas.func import print as lazy_print
+
+        df = lfp.read_csv(taxi_csv)
+        lazy_print(df.head())
+        total = df.groupby(["vendor"])["fare_amount"].sum()
+        session = get_session()
+        roots = list(session.pending_prints) + [total.node]
+        narrowed = push_down_projections(roots)
+        assert narrowed == 1
+        session.pending_prints.clear()
+
+    def test_print_whole_frame_blocks_projection(self, taxi_csv):
+        from repro.lazyfatpandas.func import print as lazy_print
+
+        df = lfp.read_csv(taxi_csv)
+        lazy_print(df)
+        total = df.groupby(["vendor"])["fare_amount"].sum()
+        session = get_session()
+        roots = list(session.pending_prints) + [total.node]
+        assert push_down_projections(roots) == 0
+        session.pending_prints.clear()
+
+    def test_existing_usecols_untouched(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv, usecols=["vendor", "fare_amount", "tip_amount"])
+        total = df.groupby(["vendor"])["fare_amount"].sum()
+        push_down_projections([total.node])
+        read = _ops_below(total.node, "read_csv")[0]
+        assert set(read.args["usecols"]) == {"vendor", "fare_amount", "tip_amount"}
+
+    def test_rename_maps_requirements_back(self, taxi_csv):
+        df = lfp.read_csv(taxi_csv)
+        renamed = df.rename(columns={"fare_amount": "fare"})
+        out = renamed.groupby(["vendor"])["fare"].sum()
+        push_down_projections([out.node])
+        read = _ops_below(out.node, "read_csv")[0]
+        assert "fare_amount" in read.args["usecols"]
+
+
+class TestMetadataOptimization:
+    def test_dtype_hints_injected(self, make_csv, tmp_path):
+        path = make_csv({"cat": ["a", "b"] * 100, "num": list(range(200))})
+        store = MetaStore(str(tmp_path / "ms"))
+        store.compute_and_store(path, sample_rows=None)
+        session = get_session()
+        session.metastore = store
+
+        df = lfp.read_csv(path)
+        total_series = df.groupby(["cat"])["num"].sum()
+        from repro.core.optimizer import apply_metadata_hints
+
+        updated = apply_metadata_hints([total_series.node], store)
+        assert updated == 1
+        read_args = df.node.args
+        assert read_args["dtype"]["num"] == "int64"
+        assert read_args["dtype"]["cat"] == "category"
+        assert total_series.compute().values.sum() == sum(range(200))
+
+    def test_mutated_column_not_category(self, make_csv, tmp_path):
+        path = make_csv({"cat": ["a", "b"] * 100, "num": list(range(200))})
+        store = MetaStore(str(tmp_path / "ms"))
+        store.compute_and_store(path, sample_rows=None)
+        get_session().metastore = store
+
+        df = lfp.read_csv(path)
+        df["cat"] = df.cat.str.upper()  # mutation: category unsafe
+        out = df.groupby(["cat"])["num"].sum()
+        from repro.core.optimizer import apply_metadata_hints
+
+        apply_metadata_hints([out.node], store)
+        dtype = df.node.inputs[0].args.get("dtype") or {}
+        assert dtype.get("cat") != "category"
+        assert dtype.get("num") == "int64"
+
+    def test_static_mutated_cols_respected(self, make_csv, tmp_path):
+        path = make_csv({"cat": ["a", "b"] * 100, "num": list(range(200))})
+        store = MetaStore(str(tmp_path / "ms"))
+        store.compute_and_store(path, sample_rows=None)
+        get_session().metastore = store
+
+        df = lfp.read_csv(path, mutated_cols=["cat"])
+        out = df.groupby(["cat"])["num"].sum()
+        from repro.core.optimizer import apply_metadata_hints
+
+        apply_metadata_hints([out.node], store)
+        dtype = df.node.args.get("dtype") or {}
+        assert dtype.get("cat") != "category"
+
+    def test_no_metastore_is_noop(self, taxi_csv):
+        from repro.core.optimizer import apply_metadata_hints
+
+        df = lfp.read_csv(taxi_csv)
+        out = df.fare_amount.sum()
+        assert apply_metadata_hints([out.node], None) == 0
+        assert "dtype" not in df.node.args
+
+
+class TestFlagToggles:
+    def test_flags_disable_rules(self, taxi_csv):
+        session = get_session()
+        session.flags.predicate_pushdown = False
+        session.flags.projection_pushdown = False
+        session.flags.common_subexpression = False
+        df = lfp.read_csv(taxi_csv)
+        df["day"] = df.passenger_count + 1
+        filtered = df[df.fare_amount > 0]
+        filtered.day.sum().compute()
+        report = session.last_optimize_report
+        assert report["pushdown"] == 0
+        assert report["projection"] == 0
+        assert report["cse"] == 0

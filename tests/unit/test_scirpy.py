@@ -1,0 +1,204 @@
+"""Unit tests for SCIRPy: lowering, CFG, regions, codegen round-trips."""
+
+import ast
+import contextlib
+import io
+
+import pytest
+
+from repro.analysis.scirpy import (
+    CFG,
+    StmtKind,
+    build_regions,
+    cfg_to_source,
+    lower_source,
+)
+from repro.analysis.scirpy.regions import IfRegion, LoopRegion
+
+
+def roundtrip_equivalent(source: str) -> bool:
+    """Execute original and regenerated programs; compare state+stdout."""
+    cfg, _tree = lower_source(source)
+    regenerated = cfg_to_source(cfg)
+    ns1, ns2 = {}, {}
+    out1, out2 = io.StringIO(), io.StringIO()
+    with contextlib.redirect_stdout(out1):
+        exec(source, ns1)  # noqa: S102
+    with contextlib.redirect_stdout(out2):
+        exec(regenerated, ns2)  # noqa: S102
+    clean = lambda ns: {
+        k: v
+        for k, v in ns.items()
+        if not k.startswith("_") and not callable(v)
+    }
+    return clean(ns1) == clean(ns2) and out1.getvalue() == out2.getvalue()
+
+
+class TestLowering:
+    def test_straight_line_single_block(self):
+        cfg, _ = lower_source("a = 1\nb = a + 1\n")
+        blocks = [b for b in cfg.blocks() if b.live_stmts()]
+        # one code block + the synthetic exit
+        assert len(blocks) == 2
+
+    def test_if_creates_branch(self):
+        cfg, _ = lower_source("x = 1\nif x:\n    y = 2\nz = 3\n")
+        kinds = [s.kind for s in cfg.statements()]
+        assert StmtKind.BRANCH in kinds
+
+    def test_loop_creates_header(self):
+        cfg, _ = lower_source("for i in range(3):\n    pass\n")
+        kinds = [s.kind for s in cfg.statements()]
+        assert StmtKind.LOOP in kinds
+
+    def test_branch_edges_labelled(self):
+        cfg, _ = lower_source("if 1:\n    a = 1\nelse:\n    a = 2\n")
+        branch_block = next(
+            b for b in cfg.blocks() if b.terminator is not None
+        )
+        labels = {label for _, label in branch_block.succs}
+        assert labels == {"then", "else"}
+
+    def test_loop_edges_labelled(self):
+        cfg, _ = lower_source("while True:\n    break\n")
+        header = next(
+            b for b in cfg.blocks()
+            if b.terminator is not None and b.terminator.kind == StmtKind.LOOP
+        )
+        labels = {label for _, label in header.succs}
+        assert labels == {"body", "exit"}
+
+
+class TestDominators:
+    def test_entry_dominates_everything(self):
+        cfg, _ = lower_source("a = 1\nif a:\n    b = 2\nc = 3\n")
+        dom = cfg.dominators()
+        for block in cfg.blocks():
+            assert cfg.entry.id in dom[block.id]
+
+    def test_back_edges_found_for_loops(self):
+        cfg, _ = lower_source("for i in range(3):\n    x = i\n")
+        assert len(cfg.back_edges()) == 1
+
+    def test_no_back_edges_in_straight_line(self):
+        cfg, _ = lower_source("a = 1\nb = 2\n")
+        assert cfg.back_edges() == []
+
+    def test_to_dot(self):
+        cfg, _ = lower_source("a = 1\n")
+        assert "digraph" in cfg.to_dot()
+
+
+class TestRegions:
+    def test_if_region_built(self):
+        cfg, _ = lower_source("if 1:\n    a = 1\nb = 2\n")
+        region = build_regions(cfg)
+        found = _find_regions(region, IfRegion)
+        assert len(found) == 1
+
+    def test_loop_region_built(self):
+        cfg, _ = lower_source("for i in range(2):\n    a = i\n")
+        region = build_regions(cfg)
+        assert len(_find_regions(region, LoopRegion)) == 1
+
+    def test_nested_regions(self):
+        cfg, _ = lower_source(
+            "for i in range(2):\n    if i:\n        a = i\n"
+        )
+        region = build_regions(cfg)
+        loops = _find_regions(region, LoopRegion)
+        assert len(loops) == 1
+        assert len(_find_regions(loops[0].body, IfRegion)) == 1
+
+
+def _find_regions(region, kind):
+    from repro.analysis.scirpy.regions import BlockRegion, SequenceRegion
+
+    out = []
+    stack = [region]
+    while stack:
+        current = stack.pop()
+        if current is None or isinstance(current, BlockRegion):
+            continue
+        if isinstance(current, kind):
+            out.append(current)
+        if isinstance(current, SequenceRegion):
+            stack.extend(current.items)
+        elif isinstance(current, IfRegion):
+            stack.extend([current.then, current.orelse])
+        elif isinstance(current, LoopRegion):
+            stack.append(current.body)
+    return out
+
+
+class TestRoundTrip:
+    CORPUS = [
+        "a = 1\nb = a * 2\nprint(a + b)\n",
+        "x = 5\nif x > 3:\n    y = 1\nelse:\n    y = 2\nprint(y)\n",
+        "x = 2\nif x > 3:\n    y = 1\nelif x > 1:\n    y = 2\nelse:\n    y = 3\nprint(y)\n",
+        "t = 0\nfor i in range(10):\n    t += i\nprint(t)\n",
+        "t = 0\nwhile t < 50:\n    t += 7\nprint(t)\n",
+        (
+            "t = 0\n"
+            "for i in range(10):\n"
+            "    if i % 2 == 0:\n"
+            "        continue\n"
+            "    t += i\n"
+            "    if t > 12:\n"
+            "        break\n"
+            "print(t)\n"
+        ),
+        (
+            "acc = []\n"
+            "for i in range(4):\n"
+            "    for j in range(3):\n"
+            "        if j == i:\n"
+            "            continue\n"
+            "        acc.append((i, j))\n"
+            "print(len(acc))\n"
+        ),
+        (
+            "n = 0\n"
+            "while True:\n"
+            "    n += 1\n"
+            "    if n > 5:\n"
+            "        break\n"
+            "print(n)\n"
+        ),
+        (
+            "total = 0\n"
+            "values = [3, 1, 4, 1, 5]\n"
+            "for v in values:\n"
+            "    if v > 2:\n"
+            "        total += v\n"
+            "    else:\n"
+            "        total -= 1\n"
+            "print(total)\n"
+        ),
+        (
+            "def helper(v):\n"
+            "    return v * 2\n"
+            "out = helper(21)\n"
+            "print(out)\n"
+        ),
+        (
+            "x = 1\n"
+            "if x:\n"
+            "    if x > 0:\n"
+            "        r = 'pos'\n"
+            "    else:\n"
+            "        r = 'zero'\n"
+            "else:\n"
+            "    r = 'neg'\n"
+            "print(r)\n"
+        ),
+    ]
+
+    @pytest.mark.parametrize("idx", range(len(CORPUS)))
+    def test_roundtrip(self, idx):
+        assert roundtrip_equivalent(self.CORPUS[idx])
+
+    def test_regenerated_source_parses(self):
+        for source in self.CORPUS:
+            cfg, _ = lower_source(source)
+            ast.parse(cfg_to_source(cfg))

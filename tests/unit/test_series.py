@@ -1,0 +1,189 @@
+"""Unit tests for Series: operators, methods, accessors, aggregations."""
+
+import numpy as np
+import pytest
+
+from repro.frame import Series
+
+
+def ser(values, **kwargs):
+    return Series(values, **kwargs)
+
+
+class TestArithmetic:
+    def test_add_scalar(self):
+        assert ser([1, 2]).__add__(10).to_list() == [11, 12]
+
+    def test_radd(self):
+        assert (10 + ser([1, 2])).to_list() == [11, 12]
+
+    def test_sub_series(self):
+        assert (ser([5, 7]) - ser([1, 2])).to_list() == [4, 5]
+
+    def test_mul_div(self):
+        assert (ser([2, 4]) * 3).to_list() == [6, 12]
+        assert (ser([4.0, 9.0]) / 2).to_list() == [2.0, 4.5]
+
+    def test_floordiv_mod(self):
+        assert (ser([7, 9]) // 2).to_list() == [3, 4]
+        assert (ser([7, 9]) % 2).to_list() == [1, 1]
+
+    def test_neg_abs_round(self):
+        assert (-ser([1, -2])).to_list() == [-1, 2]
+        assert ser([-1.5, 2.5]).abs().to_list() == [1.5, 2.5]
+        assert ser([1.26, 2.34]).round(1).to_list() == [1.3, 2.3]
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            ser([1, 2]) + ser([1, 2, 3])
+
+
+class TestComparisons:
+    def test_gt_makes_bool_mask(self):
+        mask = ser([1, 5, 3]) > 2
+        assert mask.to_list() == [False, True, True]
+
+    def test_eq_string(self):
+        mask = ser(["a", "b"]) == "a"
+        assert mask.to_list() == [True, False]
+
+    def test_datetime_compare_with_string(self):
+        s = ser(np.array(["2024-01-01", "2024-06-01"], dtype="datetime64[ns]"))
+        assert (s > "2024-03-01").to_list() == [False, True]
+
+    def test_and_or_invert(self):
+        a = ser([True, True, False])
+        b = ser([True, False, False])
+        assert (a & b).to_list() == [True, False, False]
+        assert (a | b).to_list() == [True, True, False]
+        assert (~b).to_list() == [False, True, True]
+
+
+class TestSelection:
+    def test_boolean_mask(self):
+        s = ser([1, 2, 3, 4])
+        assert s[s > 2].to_list() == [3, 4]
+
+    def test_mask_keeps_index_labels(self):
+        s = ser([1, 2, 3, 4])
+        out = s[s > 2]
+        assert list(out.index.to_array()) == [2, 3]
+
+    def test_slice(self):
+        assert ser([1, 2, 3])[0:2].to_list() == [1, 2]
+
+    def test_iloc(self):
+        s = ser([10, 20, 30])
+        assert s.iloc[1] == 20
+        assert s.iloc[[0, 2]].to_list() == [10, 30]
+
+
+class TestMethods:
+    def test_isin(self):
+        assert ser([1, 2, 3]).isin([1, 3]).to_list() == [True, False, True]
+
+    def test_between_variants(self):
+        s = ser([1, 2, 3, 4])
+        assert s.between(2, 3).to_list() == [False, True, True, False]
+        assert s.between(2, 3, inclusive="neither").to_list() == [False] * 4
+        assert s.between(2, 3, inclusive="left").to_list() == [False, True, False, False]
+        assert s.between(2, 3, inclusive="right").to_list() == [False, False, True, False]
+
+    def test_fillna_dropna(self):
+        s = ser([1.0, np.nan, 3.0])
+        assert s.fillna(0).to_list() == [1.0, 0.0, 3.0]
+        assert s.dropna().to_list() == [1.0, 3.0]
+
+    def test_isna_notna(self):
+        s = ser([1.0, np.nan])
+        assert s.isna().to_list() == [False, True]
+        assert s.notna().to_list() == [True, False]
+
+    def test_map_function(self):
+        assert ser([1, 2]).map(lambda v: v * 10).to_list() == [10, 20]
+
+    def test_map_dict(self):
+        assert ser(["a", "b"]).map({"a": 1}).to_list() == [1, None]
+
+    def test_astype(self):
+        assert ser([1, 2]).astype("float64").to_list() == [1.0, 2.0]
+        assert ser([1, 2]).astype(str).to_list() == ["1", "2"]
+
+    def test_sort_values(self):
+        assert ser([3, 1, 2]).sort_values().to_list() == [1, 2, 3]
+        assert ser([3, 1, 2]).sort_values(ascending=False).to_list() == [3, 2, 1]
+
+    def test_head_nlargest_nsmallest(self):
+        s = ser([5, 1, 4, 2])
+        assert s.head(2).to_list() == [5, 1]
+        assert s.nlargest(2).to_list() == [5, 4]
+        assert s.nsmallest(2).to_list() == [1, 2]
+
+    def test_value_counts(self):
+        counts = ser(["a", "b", "a", "a"]).value_counts()
+        assert list(counts.index.to_array()) == ["a", "b"]
+        assert counts.to_list() == [3, 1]
+
+    def test_rename_and_to_frame(self):
+        s = ser([1], name="x").rename("y")
+        assert s.name == "y"
+        frame = s.to_frame()
+        assert frame.columns == ["y"]
+
+    def test_reset_index(self):
+        s = ser([1, 2], name="v")
+        frame = s.reset_index()
+        assert frame.columns == ["index", "v"]
+
+
+class TestAggregations:
+    def test_sum_mean(self):
+        s = ser([1.0, 2.0, np.nan, 3.0])
+        assert s.sum() == 6.0
+        assert s.mean() == 2.0
+
+    def test_min_max(self):
+        assert ser([3, 1, 2]).min() == 1
+        assert ser([3, 1, 2]).max() == 3
+
+    def test_count_skips_na(self):
+        assert ser([1.0, np.nan, 2.0]).count() == 2
+
+    def test_std_var_median_quantile(self):
+        s = ser([1.0, 2.0, 3.0, 4.0])
+        assert s.std() == pytest.approx(np.std([1, 2, 3, 4], ddof=1))
+        assert s.var() == pytest.approx(np.var([1, 2, 3, 4], ddof=1))
+        assert s.median() == 2.5
+        assert s.quantile(0.25) == pytest.approx(1.75)
+
+    def test_empty_aggregates(self):
+        s = ser(np.array([], dtype=np.float64))
+        assert s.sum() == 0
+        assert np.isnan(s.mean())
+        assert s.min() is None
+
+    def test_nunique_unique(self):
+        s = ser(["a", "b", "a"])
+        assert s.nunique() == 2
+        assert list(s.unique()) == ["a", "b"]
+
+    def test_idxmax_idxmin(self):
+        s = ser([5, 9, 1])
+        assert s.idxmax() == 1
+        assert s.idxmin() == 2
+
+    def test_categorical_aggregation_rejected(self):
+        s = ser(["a", "b"]).astype("category")
+        with pytest.raises(TypeError):
+            s.sum()
+
+
+class TestDisplay:
+    def test_repr_contains_name_and_dtype(self):
+        text = repr(ser([1, 2, 3], name="x"))
+        assert "Name: x" in text
+        assert "int64" in text
+
+    def test_repr_truncates_long_series(self):
+        text = repr(ser(list(range(100))))
+        assert "more" in text
