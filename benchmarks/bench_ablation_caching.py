@@ -14,7 +14,7 @@ def test_ablation_caching_on_stu(runner, benchmark):
         baseline = runner.run("stu", "dask", "M")
         cached = runner.run("stu", "lafp_dask", "M")
         uncached = runner.run(
-            "stu", "lafp_dask", "M", flag_overrides={"caching": False}
+            "stu", "lafp_dask", "M", options={"executor.cache": False}
         )
         return baseline, cached, uncached
 

@@ -13,20 +13,22 @@ from repro.workloads.programs import PROGRAMS
 from repro.workloads.runner import _HEADERS
 
 ABLATIONS = [
-    # (program, flag to disable, backend mode whose showcase it is)
-    ("cty", "caching", "lafp_dask"),
-    ("ais", "predicate_pushdown", "lafp_pandas"),
-    ("fdb", "caching", "lafp_dask"),
-    ("nyt", "projection_pushdown", "lafp_dask"),
+    # (program, option to disable, backend mode whose showcase it is)
+    ("cty", "executor.cache", "lafp_dask"),
+    ("ais", "optimizer.predicate_pushdown", "lafp_pandas"),
+    ("fdb", "executor.cache", "lafp_dask"),
+    ("nyt", "optimizer.projection_pushdown", "lafp_dask"),
 ]
 
 
 def test_runtime_optimization_ablations(runner, benchmark):
+    # Each run gets its own Session; the override is applied through
+    # option_context inside the runner, so cells are hermetic.
     def run_all():
         out = {}
         for program, flag, mode in ABLATIONS:
             on = runner.run(program, mode, "M")
-            off = runner.run(program, mode, "M", flag_overrides={flag: False})
+            off = runner.run(program, mode, "M", options={flag: False})
             out[(program, flag)] = (on, off)
         return out
 

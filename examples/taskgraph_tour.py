@@ -18,7 +18,6 @@ from repro.core.optimizer import (
     push_down_predicates,
     push_down_projections,
 )
-from repro.core.session import reset_session
 from repro.frame import DataFrame
 from repro.graph import collect_subgraph, to_dot
 
@@ -38,8 +37,8 @@ DataFrame(
     }
 ).to_csv(_csv)
 
-pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS
-reset_session("pandas")
+# An explicit session scopes the whole tour (no global state to reset).
+_session = pd.Session(backend="pandas").activate()
 
 # -- build Figure 3's graph lazily (no analyze(): pure runtime) ----------
 df = pd.read_csv(_csv, parse_dates=["tpep_pickup_datetime"])
@@ -67,6 +66,9 @@ print(f"read_csv usecols after optimization: {read_node.args.get('usecols')}")
 
 print("\n=== task graph after optimization ===")
 print(to_dot([result.node]))
+
+print("\n=== the same plans, via explain() (raw vs optimized) ===")
+print(result.explain())
 
 print("\nresult of the optimized graph:")
 print(result.compute())

@@ -5,11 +5,24 @@ from repro.lazyfatpandas.pandas import (  # explicit for linters
     BACKEND_ENGINE,
     BackendEngines,
     DataFrame,
+    Session,
     analyze,
     concat,
+    current_session,
     flush,
+    get_option,
     merge,
+    option_context,
+    options,
     read_csv,
     reset,
+    set_backend,
+    set_option,
     to_datetime,
 )
+from repro.lazyfatpandas.pandas import _install_backend_sync
+from repro.lazyfatpandas.pandas import __all__  # noqa: F401 - same surface
+
+# Assignments of ``pd.BACKEND_ENGINE`` on this alias module must reach
+# the current session exactly like the canonical module's do.
+_install_backend_sync(__name__)

@@ -9,9 +9,9 @@ composing the per-statement transfer inside each block.  Facts are
 from __future__ import annotations
 
 import dataclasses
-from typing import Callable, Dict, FrozenSet, Tuple
+from typing import Callable, Dict, FrozenSet
 
-from repro.analysis.scirpy.cfg import CFG, BasicBlock
+from repro.analysis.scirpy.cfg import CFG
 
 Fact = FrozenSet
 Transfer = Callable[[object, Fact], Fact]  # (stmt, out/in) -> in/out

@@ -14,13 +14,12 @@ of d".  The backward transfer per statement implements the paper's rules:
 from __future__ import annotations
 
 import ast
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Optional, Set, Tuple
 
 from repro.analysis.scirpy.cfg import CFG
 from repro.analysis.scirpy.ir import IRStmt, StmtKind
 from repro.analysis.dataflow.framework import DataflowResult, solve_backward
 from repro.analysis.dataflow.frames import (
-    GROUPBY_AGGS,
     INFORMATIVE,
     Kind,
     WILDCARD,
@@ -29,7 +28,6 @@ from repro.analysis.dataflow.frames import (
     _frame_base_name,
     _groupby_chain,
     expression_uses,
-    expr_kind,
 )
 
 Fact = FrozenSet[Tuple[str, str]]

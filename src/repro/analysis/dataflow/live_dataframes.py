@@ -8,7 +8,7 @@ persistence at runtime.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet
 
 from repro.analysis.scirpy.cfg import CFG
 from repro.analysis.dataflow.framework import DataflowResult

@@ -10,7 +10,7 @@ are folded in -- ``read_csv`` needs them present to do its job.
 from __future__ import annotations
 
 import ast
-from typing import Dict, List, Optional, Set
+from typing import Optional, Set
 
 from repro.analysis.scirpy.cfg import CFG
 from repro.analysis.dataflow.framework import DataflowResult

@@ -13,7 +13,6 @@ import ast
 from typing import List, Optional
 
 from repro.analysis.scirpy.cfg import CFG
-from repro.analysis.scirpy.ir import StmtKind
 from repro.analysis.scirpy.regions import (
     BlockRegion,
     IfRegion,

@@ -18,25 +18,31 @@ from repro.backends.base import Backend, BackendUnsupported, apply_generic
 from repro.backends.pandas_backend import PandasBackend
 from repro.backends.dask_backend import DaskBackend
 from repro.backends.modin_backend import ModinBackend
+from repro.backends.engine import (
+    DEFAULT_REGISTRY,
+    Engine,
+    EngineRegistry,
+    EngineSpec,
+)
 
 
 def get_backend(name: str) -> Backend:
-    """Instantiate a backend by its configuration name."""
-    table = {
-        "pandas": PandasBackend,
-        "dask": DaskBackend,
-        "modin": ModinBackend,
-    }
-    key = name.lower()
-    if key not in table:
-        raise ValueError(f"unknown backend {name!r}; choose from {sorted(table)}")
-    return table[key]()
+    """Instantiate a standalone backend by name (registry-backed).
+
+    Sessions resolve engines through their own :class:`EngineRegistry`;
+    this helper remains for code that needs a throwaway backend object.
+    """
+    return DEFAULT_REGISTRY.create(name).backend
 
 
 __all__ = [
     "Backend",
     "BackendUnsupported",
+    "DEFAULT_REGISTRY",
     "DaskBackend",
+    "Engine",
+    "EngineRegistry",
+    "EngineSpec",
     "ModinBackend",
     "PandasBackend",
     "apply_generic",

@@ -14,12 +14,11 @@ failure of Figure 12) and the error propagates.
 
 from __future__ import annotations
 
-import csv
 from typing import Callable, List
 
 import numpy as np
 
-from repro.frame import DataFrame, Series, concat
+from repro.frame import DataFrame, concat
 from repro.frame.concat import concat_consuming
 from repro.frame.io_csv import read_csv
 from repro.memory import SimulatedMemoryError

@@ -14,7 +14,7 @@ matching the Dask limitations section 5.1 reports working around.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Union
+from typing import List, Optional, Union
 
 import numpy as np
 
@@ -23,13 +23,12 @@ from repro.backends.dask_sim.compute import Evaluator
 from repro.backends.dask_sim.expr import (
     Expr,
     blockwise_expr,
-    concat_expr,
     head_expr,
     merge_broadcast_expr,
     merge_shuffle_expr,
     tree_expr,
 )
-from repro.frame import DataFrame, Series, concat
+from repro.frame import DataFrame, Series
 
 
 class DaskCollection:

@@ -1,0 +1,142 @@
+"""Engine abstraction: capability descriptors + registry + instances.
+
+The pre-Session runtime resolved backends through a module-level
+``get_backend(name)`` that returned a *fresh* backend object whenever the
+session's name changed -- fine for one program per process, wrong for
+concurrent sessions (two sessions on the same name would still race on
+any module-level state, and a session switching back to a backend lost
+that backend's store).  This module replaces it:
+
+- :class:`EngineSpec` describes a backend *kind*: its factory plus the
+  capability facts callers branch on (lazy vs eager, partitioned,
+  out-of-core) -- the shape of Dask's per-collection
+  ``__dask_scheduler__`` hooks, but declared once per engine.
+- :class:`EngineRegistry` maps names to specs.  Sessions hold a registry
+  reference (the shared :data:`DEFAULT_REGISTRY` unless injected), so
+  tests can register simulated engines without touching global state.
+- :class:`Engine` is one *instance*: a backend object private to the
+  session that created it.  Two sessions never share an engine, which is
+  what lets them run different backends concurrently.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List
+
+from repro.backends.base import Backend
+
+
+@dataclasses.dataclass(frozen=True)
+class EngineSpec:
+    """Static description of one execution engine kind."""
+
+    name: str
+    factory: Callable[[], Backend]
+    #: builds its own expression graph; materialization happens at roots.
+    is_lazy: bool = False
+    #: splits frames into row partitions.
+    partitioned: bool = False
+    #: can spill partitions to disk under memory pressure.
+    out_of_core: bool = False
+    description: str = ""
+
+
+class Engine:
+    """A per-session backend instance plus its capability descriptor."""
+
+    __slots__ = ("spec", "backend")
+
+    def __init__(self, spec: EngineSpec):
+        self.spec = spec
+        self.backend = spec.factory()
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def is_lazy(self) -> bool:
+        return self.spec.is_lazy
+
+    @property
+    def partitioned(self) -> bool:
+        return self.spec.partitioned
+
+    @property
+    def out_of_core(self) -> bool:
+        return self.spec.out_of_core
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Engine {self.name} lazy={self.is_lazy}>"
+
+
+class EngineRegistry:
+    """Name -> :class:`EngineSpec` lookup; sessions create instances."""
+
+    def __init__(self, specs: Iterable[EngineSpec] = ()):
+        self._specs: Dict[str, EngineSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: EngineSpec, replace: bool = False) -> EngineSpec:
+        key = spec.name.lower()
+        if key in self._specs and not replace:
+            raise ValueError(f"engine {spec.name!r} already registered")
+        self._specs[key] = spec
+        return spec
+
+    def spec(self, name: str) -> EngineSpec:
+        key = str(name).lower()
+        if key not in self._specs:
+            raise ValueError(
+                f"unknown backend {name!r}; choose from {self.names()}"
+            )
+        return self._specs[key]
+
+    def create(self, name: str) -> Engine:
+        """A fresh engine instance (one backend object, never shared)."""
+        return Engine(self.spec(name))
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return str(name).lower() in self._specs
+
+
+def _pandas_factory() -> Backend:
+    from repro.backends.pandas_backend import PandasBackend
+
+    return PandasBackend()
+
+
+def _dask_factory() -> Backend:
+    from repro.backends.dask_backend import DaskBackend
+
+    return DaskBackend()
+
+
+def _modin_factory() -> Backend:
+    from repro.backends.modin_backend import ModinBackend
+
+    return ModinBackend()
+
+
+#: The stock registry with the paper's three engines (section 2.6).
+DEFAULT_REGISTRY = EngineRegistry([
+    EngineSpec(
+        "pandas", _pandas_factory,
+        description="eager, whole-frame, in-memory",
+    ),
+    EngineSpec(
+        "dask", _dask_factory,
+        is_lazy=True, partitioned=True, out_of_core=True,
+        description="lazy, partitioned, out-of-core with spilling",
+    ),
+    EngineSpec(
+        "modin", _modin_factory,
+        partitioned=True,
+        description="eager, partitioned, in-memory",
+    ),
+])

@@ -9,8 +9,6 @@ thus LaFP optimizations are even more important").
 
 from __future__ import annotations
 
-import os
-
 from repro.backends.base import Backend
 from repro.backends.modin_sim.frame import (
     ModinFrame,

@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.backends.base import BackendUnsupported
 from repro.frame import DataFrame, Series, concat
-from repro.frame.io_csv import read_csv, read_header, scan_partitions
+from repro.frame.io_csv import read_csv, scan_partitions
 
 _POOL = ThreadPoolExecutor(
     max_workers=min(4, os.cpu_count() or 1),

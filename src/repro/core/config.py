@@ -1,0 +1,353 @@
+"""Per-session configuration: a pandas-style dotted-key option layer.
+
+Every :class:`~repro.core.session.Session` owns a :class:`SessionOptions`
+instance; nothing here is process-global except the *registry of known
+option keys* (defaults + docs + validators), which is immutable at
+runtime.  The public surface mirrors pandas:
+
+- ``lfp.options.optimizer.predicate_pushdown`` -- attribute-style access
+  to the *current* session's options,
+- ``lfp.set_option("executor.cache", False)`` / ``lfp.get_option(key)``,
+- ``lfp.option_context("optimizer.metadata", False)`` -- a nestable
+  context manager restoring prior values on exit.
+
+Registered keys:
+
+========================================  =======  ==================================
+key                                       default
+========================================  =======  ==================================
+``backend.engine``                        "dask"   execution engine name
+``optimizer.predicate_pushdown``          True     section 3.2 filter motion
+``optimizer.common_subexpression``        True     CSE + shared-node merging
+``optimizer.projection_pushdown``         True     required-column inference
+``optimizer.metadata``                    True     metastore dtype hints (section 3.6)
+``executor.cache``                        True     live_df persistence (section 3.5)
+========================================  =======  ==================================
+
+The pre-Session ``OptimizationFlags`` attribute names (``caching``,
+``predicate_pushdown``, ...) are accepted everywhere a key is accepted,
+and ``session.flags`` exposes the same attribute view, so ablation
+harness code written against the old API keeps working.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
+
+
+class OptionError(KeyError):
+    """Unknown option key or invalid option value."""
+
+
+#: pandas option namespaces tolerated as no-ops so unmodified pandas
+#: scripts (``pd.set_option("display.max_rows", ...)``,
+#: ``pd.options.display.max_rows = ...``) run under the facade.  Any
+#: other unknown *dotted* root is an error -- a typo'd LaFP key must
+#: never silently no-op.
+FOREIGN_OPTION_ROOTS = (
+    "display", "mode", "compute", "io", "plotting", "styler", "future",
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class OptionSpec:
+    """One registered option: its default, doc line and validator."""
+
+    key: str
+    default: object
+    doc: str = ""
+    validator: Optional[Callable[[object], None]] = None
+
+
+_REGISTRY: Dict[str, OptionSpec] = {}
+
+#: Pre-Session flag names (``OptimizationFlags`` fields) -> dotted keys.
+LEGACY_FLAG_KEYS: Dict[str, str] = {
+    "predicate_pushdown": "optimizer.predicate_pushdown",
+    "common_subexpression": "optimizer.common_subexpression",
+    "projection_pushdown": "optimizer.projection_pushdown",
+    "metadata": "optimizer.metadata",
+    "caching": "executor.cache",
+}
+
+
+def register_option(
+    key: str,
+    default: object,
+    doc: str = "",
+    validator: Optional[Callable[[object], None]] = None,
+) -> None:
+    """Add a key to the option registry (done once, at import time)."""
+    _REGISTRY[key] = OptionSpec(key=key, default=default, doc=doc,
+                                validator=validator)
+
+
+def registered_options() -> Dict[str, OptionSpec]:
+    """Snapshot of the registry (key -> spec)."""
+    return dict(_REGISTRY)
+
+
+def canonical_key(key: str) -> str:
+    """Resolve ``key`` (dotted or legacy flag name) to its registry key."""
+    if key in _REGISTRY:
+        return key
+    if key in LEGACY_FLAG_KEYS:
+        return LEGACY_FLAG_KEYS[key]
+    raise OptionError(
+        f"unknown option {key!r}; known options: {sorted(_REGISTRY)}"
+    )
+
+
+def is_foreign_option_key(key: str) -> bool:
+    """Is ``key`` a pandas option the facade tolerates as a no-op?
+
+    True for keys in a pandas namespace (``display.*`` etc.) and for
+    bare dotless keys (pandas accepts shorthand like ``"max_columns"``)
+    that are not LaFP keys or legacy flags.  Unknown *dotted* keys
+    outside the pandas namespaces are never foreign -- a typo'd LaFP
+    key must error, not silently no-op.
+    """
+    if key in _REGISTRY or key in LEGACY_FLAG_KEYS:
+        return False
+    root = key.split(".", 1)[0]
+    return root in FOREIGN_OPTION_ROOTS or "." not in key
+
+
+def describe_options() -> str:
+    """Human-readable listing of every option, default, and doc line."""
+    lines = []
+    for key in sorted(_REGISTRY):
+        spec = _REGISTRY[key]
+        lines.append(f"{key} (default: {spec.default!r})")
+        if spec.doc:
+            lines.append(f"    {spec.doc}")
+    return "\n".join(lines)
+
+
+def _validate_bool(value: object) -> None:
+    if not isinstance(value, bool):
+        raise OptionError(f"expected a bool, got {value!r}")
+
+
+def _validate_str(value: object) -> None:
+    if not isinstance(value, str) or not value:
+        raise OptionError(f"expected a non-empty string, got {value!r}")
+
+
+register_option(
+    "backend.engine", "dask",
+    doc="Execution engine resolved through the session's EngineRegistry "
+        "(section 2.6; 'pandas', 'dask', or 'modin' by default).",
+    validator=_validate_str,
+)
+register_option(
+    "optimizer.predicate_pushdown", True,
+    doc="Move filters toward sources past safe points (section 3.2).",
+    validator=_validate_bool,
+)
+register_option(
+    "optimizer.common_subexpression", True,
+    doc="Merge structurally identical nodes before execution.",
+    validator=_validate_bool,
+)
+register_option(
+    "optimizer.projection_pushdown", True,
+    doc="Narrow read_csv to the columns the graph actually uses.",
+    validator=_validate_bool,
+)
+register_option(
+    "optimizer.metadata", True,
+    doc="Metastore-driven dtype hints and category encoding (section 3.6).",
+    validator=_validate_bool,
+)
+register_option(
+    "executor.cache", True,
+    doc="live_df-driven persistence of shared subexpressions (section 3.5).",
+    validator=_validate_bool,
+)
+
+
+def iter_option_pairs(args: tuple, kwargs: Mapping) -> Iterator[Tuple[str, object]]:
+    """Yield (key, value) pairs from pandas-style positional pairs, a
+    single mapping argument, and/or legacy-flag keyword arguments.
+
+    Shared by ``SessionOptions.context`` and the facade's ``set_option``
+    / ``option_context`` so every entry point accepts the same shapes.
+    """
+    if len(args) == 1 and isinstance(args[0], Mapping):
+        yield from args[0].items()
+    elif args:
+        if len(args) % 2 != 0:
+            raise OptionError(
+                "option_context takes key/value pairs, e.g. "
+                "option_context('executor.cache', False)"
+            )
+        yield from zip(args[::2], args[1::2])
+    yield from kwargs.items()
+
+
+class SessionOptions:
+    """The option values of one session (unset keys fall to defaults)."""
+
+    __slots__ = ("_values",)
+
+    def __init__(self, overrides: Optional[Mapping[str, object]] = None):
+        self._values: Dict[str, object] = {}
+        for key, value in (overrides or {}).items():
+            self.set(key, value)
+
+    def get(self, key: str) -> object:
+        key = canonical_key(key)
+        if key in self._values:
+            return self._values[key]
+        return _REGISTRY[key].default
+
+    def set(self, key: str, value: object) -> None:
+        key = canonical_key(key)
+        spec = _REGISTRY[key]
+        if spec.validator is not None:
+            spec.validator(value)
+        self._values[key] = value
+
+    def to_dict(self) -> Dict[str, object]:
+        """Every registered key with its effective value."""
+        return {key: self.get(key) for key in sorted(_REGISTRY)}
+
+    @contextlib.contextmanager
+    def context(self, *args, **kwargs):
+        """Temporarily override options; restores prior state on exit.
+
+        Accepts pandas-style pairs (``context("a.b", 1, "c.d", 2)``), a
+        single mapping, or legacy flag names as keywords
+        (``context(caching=False)``).  Nestable.
+        """
+        saved = []
+        try:
+            for key, value in iter_option_pairs(args, kwargs):
+                canon = canonical_key(key)
+                saved.append((canon, canon in self._values,
+                              self._values.get(canon)))
+                self.set(canon, value)
+            yield self
+        finally:
+            for canon, was_set, old in reversed(saved):
+                if was_set:
+                    self._values[canon] = old
+                else:
+                    self._values.pop(canon, None)
+
+    def __repr__(self) -> str:
+        return f"SessionOptions({self.to_dict()!r})"
+
+
+class OptimizerFlagsView:
+    """Attribute view with the old ``OptimizationFlags`` field names.
+
+    ``session.flags.predicate_pushdown = False`` writes through to the
+    session's options; reads come from them.  Kept so the ablation
+    benchmarks and seed tests run unchanged on the new config layer.
+    """
+
+    __slots__ = ("_options",)
+
+    def __init__(self, options: SessionOptions):
+        object.__setattr__(self, "_options", options)
+
+    def __getattr__(self, name: str):
+        try:
+            key = LEGACY_FLAG_KEYS[name]
+        except KeyError:
+            raise AttributeError(name) from None
+        return self._options.get(key)
+
+    def __setattr__(self, name: str, value) -> None:
+        try:
+            key = LEGACY_FLAG_KEYS[name]
+        except KeyError:
+            raise AttributeError(
+                f"no such optimization flag {name!r}; "
+                f"known flags: {sorted(LEGACY_FLAG_KEYS)}"
+            ) from None
+        self._options.set(key, value)
+
+    def __repr__(self) -> str:
+        values = {name: self._options.get(key)
+                  for name, key in LEGACY_FLAG_KEYS.items()}
+        return f"OptimizerFlagsView({values!r})"
+
+
+def _current_options() -> SessionOptions:
+    from repro.core.session import current_session
+
+    return current_session().options
+
+
+class _ForeignOptionsNamespace:
+    """Sink for pandas-compat namespaces: assignments are no-ops
+    (``options.display.max_rows = 500``) and reads return ``None``,
+    matching what the facade's ``get_option`` reports for foreign keys."""
+
+    __slots__ = ()
+
+    def __getattr__(self, name: str) -> None:
+        if name.startswith("_"):
+            raise AttributeError(name)
+        return None
+
+    def __setattr__(self, name: str, value) -> None:
+        pass
+
+    def __repr__(self) -> str:
+        return "<foreign pandas options: ignored>"
+
+
+class OptionsNamespace:
+    """Attribute-style proxy over the *current* session's options.
+
+    ``lfp.options.optimizer.predicate_pushdown`` reads; assignment
+    writes.  The proxy is stateless: it always resolves the session at
+    access time, so it follows ``with Session(...):`` blocks.
+    """
+
+    __slots__ = ("_prefix",)
+
+    def __init__(self, prefix: str = ""):
+        object.__setattr__(self, "_prefix", prefix)
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+        full = self._prefix + name
+        if full in _REGISTRY:
+            return _current_options().get(full)
+        nested = full + "."
+        if any(key.startswith(nested) for key in _REGISTRY):
+            return OptionsNamespace(nested)
+        if not self._prefix and name in FOREIGN_OPTION_ROOTS:
+            return _ForeignOptionsNamespace()
+        raise AttributeError(
+            f"no option or option group {full!r}; "
+            f"known options: {sorted(_REGISTRY)}"
+        )
+
+    def __setattr__(self, name: str, value) -> None:
+        _current_options().set(self._prefix + name, value)
+
+    def __dir__(self):
+        names = set()
+        for key in _REGISTRY:
+            if key.startswith(self._prefix):
+                names.add(key[len(self._prefix):].split(".", 1)[0])
+        return sorted(names)
+
+    def __repr__(self) -> str:
+        values = {key: _current_options().get(key)
+                  for key in sorted(_REGISTRY)
+                  if key.startswith(self._prefix)}
+        return f"options[{self._prefix or '*'}] -> {values!r}"
+
+
+#: The module-level proxy re-exported as ``lfp.options``.
+options = OptionsNamespace()

@@ -2,9 +2,14 @@
 
 Every method mirrors the pandas API but, instead of executing, appends an
 operator node to the task graph and returns a new lazy wrapper (section
-2.5).  Materialization happens through :meth:`compute`, lazy print /
-``pd.flush()``, or implicitly for APIs that need real data (``len``,
-``shape``, iteration).
+2.5).  Materialization happens through :meth:`collect` (or its
+paper-era spelling :meth:`compute`), lazy print / ``pd.flush()``, or
+implicitly for APIs that need real data (``len``, ``shape``, iteration).
+
+Each wrapper is bound at construction to the session that was current on
+the calling thread (:func:`repro.core.session.current_session`), so
+frames built inside ``with Session(...)`` blocks execute on that
+session's engine no matter where they are later collected.
 
 In-place pandas idioms (``df[c] = s``, ``inplace=True``) are modelled by
 *rebinding the wrapper's node*: the Python object identity is the mutable
@@ -16,7 +21,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence, Union
 
 from repro.graph.node import Node
-from repro.core.session import Session, get_session
+from repro.core.session import Session, current_session
 
 _MARKER = "\x00LAFP:{}\x00"
 
@@ -25,12 +30,17 @@ class LazyObject:
     """Common plumbing for lazy frame/series/scalar wrappers."""
 
     def __init__(self, node: Node, session: Optional[Session] = None):
-        self._session = session or get_session()
+        self._session = session or current_session()
         self._node = self._session.register(node)
 
     @property
     def node(self) -> Node:
         return self._node
+
+    @property
+    def session(self) -> Session:
+        """The session this object executes on (bound at construction)."""
+        return self._session
 
     def _new_node(self, op: str, inputs=(), args=None, label=None) -> Node:
         node = Node(op, inputs=inputs, args=args, label=label)
@@ -39,6 +49,41 @@ class LazyObject:
     def compute(self, live_df: Optional[Sequence] = None):
         """Force evaluation (optimizing first); returns an eager value."""
         return self._session.compute(self._node, live_df=live_df)
+
+    # -- explicit execution API --------------------------------------------
+
+    def collect(self, live: Optional[Sequence] = None):
+        """Execute the task graph under this object; returns the eager
+        result (the Dask-style spelling of :meth:`compute`).
+
+        ``live`` names lazy objects whose shared subexpressions should
+        stay persisted across this execution (section 3.5).
+        """
+        return self._session.compute(self._node, live_df=live)
+
+    def persist(self) -> "LazyObject":
+        """Compute this object's graph and pin its result for reuse.
+
+        Subsumes ``compute(live_df=[self])``: shared interior nodes are
+        marked persistent so later collections reuse them instead of
+        recomputing (source reads are deliberately not pinned -- that
+        would defeat column pruning).  Returns ``self`` so pipelines can
+        chain: ``hot = df[df.x > 0].persist()``.
+
+        The pin follows the paper's section 3.5 release rule: it
+        survives until the first collection whose ``live`` list does not
+        include this object (that collection still reuses the pin, then
+        frees it).  To keep it across several collections, pass
+        ``collect(live=[hot])`` on all but the last.
+        """
+        self._session.compute(self._node, live_df=[self])
+        return self
+
+    def explain(self, optimized: bool = True) -> str:
+        """Text rendering of this object's task graph: the raw plan and
+        (unless ``optimized=False``) the plan after the session's
+        optimizer rules ran.  Never executes or mutates the graph."""
+        return self._session.explain(self._node, optimized=optimized)
 
     # -- deferred formatting (section 3.3) ---------------------------------
 

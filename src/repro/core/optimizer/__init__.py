@@ -14,8 +14,11 @@ order chosen so each rule sees the previous rule's output:
 5. **persistence marking** (section 3.5) -- nodes shared between the
    computed subgraph and ``live_df`` expressions are marked ``persist``.
 
-Each rule honours its :class:`~repro.core.session.OptimizationFlags`
-toggle, which the ablation benchmarks flip.
+Each rule honours its per-session option toggle
+(``optimizer.predicate_pushdown``, ``optimizer.common_subexpression``,
+``optimizer.projection_pushdown``, ``optimizer.metadata``,
+``executor.cache``), which ``option_context()`` and the ablation
+benchmarks flip.
 """
 
 from repro.core.optimizer.pipeline import optimize

@@ -1,4 +1,4 @@
-"""Optimizer pipeline: runs the section-3 rules in order, honouring flags."""
+"""Optimizer pipeline: runs the section-3 rules in order, per session options."""
 
 from __future__ import annotations
 
@@ -22,24 +22,27 @@ def optimize(
 ) -> dict:
     """Optimize the subgraph under ``roots`` in place.
 
-    Returns a report of what each rule did (used by tests and the
-    ablation benchmarks).
+    Each rule is gated by the session's options (``optimizer.*`` /
+    ``executor.cache``), which ``option_context()`` and the ablation
+    benchmarks flip per session.  Returns a report of what each rule did
+    (used by tests and the ablation benchmarks).
     """
-    flags = session.flags
+    opts = session.options
     report = {"cse": 0, "pushdown": 0, "projection": 0, "metadata": 0, "persisted": 0}
-    if flags.common_subexpression:
+    if opts.get("optimizer.common_subexpression"):
         report["cse"] = eliminate_common_subexpressions(roots)
-    if flags.predicate_pushdown:
+    if opts.get("optimizer.predicate_pushdown"):
         report["pushdown"] = push_down_predicates(roots)
-    if flags.projection_pushdown:
+    if opts.get("optimizer.projection_pushdown"):
         report["projection"] = push_down_projections(roots)
-    if flags.metadata:
+    if opts.get("optimizer.metadata"):
         report["metadata"] = apply_metadata_hints(roots, session.metastore)
-    if flags.caching and live_nodes:
+    cache = opts.get("executor.cache")
+    if cache and live_nodes:
         report["persisted"] = len(
             mark_persistent_nodes(roots, live_nodes, session)
         )
-    if flags.caching and session.backend.is_lazy:
+    if cache and session.engine.is_lazy:
         shared = persist_shared_nodes(roots)
         session.persisted.extend(shared)
         report["persisted"] += len(shared)

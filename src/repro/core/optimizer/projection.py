@@ -14,9 +14,9 @@ its frame inputs as requiring *all* columns.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Sequence, Set
+from typing import Dict, Sequence, Set
 
-from repro.graph.node import ALL_COLUMNS, Node, series_used_columns
+from repro.graph.node import ALL_COLUMNS, Node
 from repro.graph.taskgraph import collect_subgraph, topological_order
 
 #: Operators through which the requirement set passes untouched.

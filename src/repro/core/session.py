@@ -1,72 +1,169 @@
-"""LaFP session: backend selection, compute orchestration, lazy-print state.
+"""LaFP sessions: explicit, thread-safe execution state.
 
-One session exists per program run (reset between benchmark runs).  It
-owns:
+A :class:`Session` owns everything one logical program needs:
 
-- the chosen backend (``pandas`` / ``dask`` / ``modin``; default ``dask``
-  as in section 2.6),
+- its options (:class:`~repro.core.config.SessionOptions`, including the
+  ``backend.engine`` choice -- default ``dask`` as in section 2.6),
+- per-session :class:`~repro.backends.engine.Engine` instances resolved
+  through an :class:`~repro.backends.engine.EngineRegistry`, so two
+  sessions can run different backends concurrently,
 - the chain of pending lazy-print nodes (section 3.3),
-- the set of persisted nodes from previous ``compute(live_df=...)`` calls
-  (section 3.5), released once no longer live,
-- optimization flags (used by the ablation benchmarks),
+- the set of persisted nodes from ``persist()`` / ``compute(live_df=...)``
+  calls (section 3.5), released once no longer live,
 - the node registry that resolves f-string escape markers back to nodes.
+
+Sessions are resolved through a *thread-local stack*::
+
+    with Session(backend="pandas") as s:
+        df = lfp.read_csv(path)       # binds to s
+        df.collect()                  # runs on s's pandas engine
+
+:func:`current_session` returns the innermost active session of the
+calling thread, falling back to a shared process root session so
+paper-verbatim scripts (no explicit session) keep working.  The old
+process-global ``get_session`` / ``reset_session`` entry points live
+on as deprecation shims in :mod:`repro.core.compat`.
 """
 
 from __future__ import annotations
 
-import dataclasses
+import threading
+import warnings
+import weakref
 from typing import Dict, List, Optional, Sequence
 
-from repro.backends import Backend, get_backend
-from repro.graph import Executor, Node, collect_subgraph
-
-
-#: Hooks run before every compute/flush (the facade registers one that
-#: propagates the module-level ``BACKEND_ENGINE`` choice).
-SYNC_HOOKS: List = []
-
-
-@dataclasses.dataclass
-class OptimizationFlags:
-    """Toggles for each runtime optimization (ablation knobs)."""
-
-    predicate_pushdown: bool = True
-    common_subexpression: bool = True
-    projection_pushdown: bool = True
-    metadata: bool = True
-    caching: bool = True  # live_df-driven persistence (section 3.5)
+from repro.backends.engine import DEFAULT_REGISTRY, Engine, EngineRegistry
+from repro.core.config import OptimizerFlagsView, SessionOptions
+from repro.graph import Executor, Node, collect_subgraph, render_plan
 
 
 class Session:
-    """Holds the lazily-built task graph's runtime state."""
+    """Holds the lazily-built task graph's runtime state.
 
-    def __init__(self, backend: str = "dask"):
-        self.backend_name = backend
-        self._backend: Optional[Backend] = None
-        self.flags = OptimizationFlags()
+    Context manager: ``with Session(...)`` makes it the calling thread's
+    current session; on exit the previous session is current again
+    (nesting works like any stack).
+    """
+
+    def __init__(
+        self,
+        backend: Optional[str] = None,
+        options: Optional[dict] = None,
+        registry: Optional[EngineRegistry] = None,
+        metastore=None,
+    ):
+        self.options = SessionOptions(options)
+        if backend is not None:
+            self.options.set("backend.engine", backend)
+        self.registry = registry or DEFAULT_REGISTRY
+        self._engines: Dict[str, Engine] = {}
         self.last_print: Optional[Node] = None
         self.pending_prints: List[Node] = []
         self.node_registry: Dict[int, Node] = {}
         self.persisted: List[Node] = []
-        self.metastore = None  # set lazily; tests may inject one
+        self.metastore = metastore  # set lazily; tests may inject one
         self.stats = {"computes": 0, "nodes_executed": 0}
+        self.last_optimize_report: Optional[dict] = None
 
-    # -- backend ------------------------------------------------------------
+    # -- options -----------------------------------------------------------
 
     @property
-    def backend(self) -> Backend:
-        if self._backend is None or self._backend.name != self.backend_name:
-            self._backend = get_backend(self.backend_name)
-        return self._backend
+    def flags(self) -> OptimizerFlagsView:
+        """Legacy ``OptimizationFlags``-shaped view over the options."""
+        return OptimizerFlagsView(self.options)
+
+    def get_option(self, key: str):
+        return self.options.get(key)
+
+    def set_option(self, key: str, value) -> None:
+        self.options.set(key, value)
+
+    def option_context(self, *args, **kwargs):
+        """Nestable temporary option overrides (see
+        :meth:`SessionOptions.context`)."""
+        return self.options.context(*args, **kwargs)
+
+    # -- engine / backend --------------------------------------------------
+
+    @property
+    def backend_name(self) -> str:
+        return str(self.options.get("backend.engine"))
+
+    @property
+    def engine(self) -> Engine:
+        """The engine named by ``backend.engine``, instantiated per
+        session and cached, so its state (e.g. the Dask partition store)
+        survives switching away and back."""
+        name = self.backend_name.lower()
+        engine = self._engines.get(name)
+        if engine is None:
+            engine = self.registry.create(name)
+            self._engines[name] = engine
+        return engine
+
+    @property
+    def backend(self):
+        return self.engine.backend
 
     def set_backend(self, name: str) -> None:
-        self.backend_name = name
-        self._backend = None
+        """Routes through the options so there is one source of truth."""
+        self.options.set("backend.engine", name)
 
-    # -- node bookkeeping -------------------------------------------------------
+    # -- activation --------------------------------------------------------
+
+    def activate(self) -> "Session":
+        """Push onto the calling thread's session stack."""
+        _stack().append(self)
+        return self
+
+    def deactivate(self) -> None:
+        """Pop this session off the calling thread's stack.
+
+        Sessions activated inside this one's scope and never
+        deactivated (e.g. a script that called ``activate()`` bare) are
+        popped along with it -- the stack must stay consistent, so
+        ``current_session()`` never resolves to a dead scope.  Such
+        out-of-order exits are reported as a ``RuntimeWarning``;
+        deactivating a session that is not on the stack at all is an
+        error.
+        """
+        stack = _stack()
+        if self not in stack:
+            raise RuntimeError("session is not active on this thread")
+        if stack[-1] is not self:
+            warnings.warn(
+                "session deactivated out of order; sessions activated "
+                "inside its scope were still active and were popped too",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        while stack:
+            if stack.pop() is self:
+                break
+
+    def __enter__(self) -> "Session":
+        return self.activate()
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        # On a clean exit, drain pending lazy prints (the paper's rule:
+        # deferred output must appear by end of program; without this, a
+        # print queued inside the block would be lost once the outer
+        # session becomes current).  SystemExit counts as a clean exit
+        # -- a program calling sys.exit() still expects its deferred
+        # output.  Real errors skip the drain so the flush cannot mask
+        # them.
+        try:
+            if exc_type is None or issubclass(exc_type, SystemExit):
+                self.flush()
+        finally:
+            self.deactivate()
+        return False
+
+    # -- node bookkeeping --------------------------------------------------
 
     def register(self, node: Node) -> Node:
         self.node_registry[node.id] = node
+        _nodes_by_id[node.id] = node
         return node
 
     def add_print(self, node: Node) -> None:
@@ -76,7 +173,7 @@ class Session:
         self.last_print = node
         self.pending_prints.append(node)
 
-    # -- computation ---------------------------------------------------------------
+    # -- computation -------------------------------------------------------
 
     def compute(self, node: Node, live_df: Optional[Sequence] = None):
         """Force ``node`` (and pending prints), with live_df persistence.
@@ -100,11 +197,37 @@ class Session:
         self._run(roots, live_nodes=[])
         self.pending_prints.clear()
 
+    def explain(self, node: Node, optimized: bool = True) -> str:
+        """Render ``node``'s task graph as text: the raw plan and (by
+        default) the plan after this session's optimizer rules ran.
+
+        Purely observational: the graph, persist marks, and the session's
+        persisted set are restored afterwards, so ``explain()`` never
+        changes what a later ``collect()`` computes.
+        """
+        from repro.core.optimizer import optimize
+
+        roots = [node]
+        sections = ["== raw plan ==", render_plan(roots)]
+        if optimized:
+            snapshot = self._snapshot(roots)
+            persist_marks = [(entry[0], entry[0].persist) for entry in snapshot]
+            persisted_before = list(self.persisted)
+            report_before = self.last_optimize_report
+            try:
+                optimize(roots, self, live_nodes=[])
+                sections += ["", "== optimized plan ==", render_plan(roots)]
+            finally:
+                self._restore(snapshot)
+                for marked, flag in persist_marks:
+                    marked.persist = flag
+                self.persisted = persisted_before
+                self.last_optimize_report = report_before
+        return "\n".join(sections)
+
     def _run(self, roots: List[Node], live_nodes: List[Node]):
         from repro.core.optimizer import optimize
 
-        for hook in SYNC_HOOKS:
-            hook()
         # Optimization is transactional: the rules rewire the shared graph
         # for *this* execution (like Dask optimizing a copy of its graph),
         # then the original wiring is restored -- later computations may
@@ -155,22 +278,80 @@ class Session:
                 node.clear_result()
         self.persisted = survivors
 
-
-_session: Optional[Session] = None
-
-
-def get_session() -> Session:
-    global _session
-    if _session is None:
-        _session = Session()
-    return _session
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<Session backend={self.backend_name!r} "
+            f"computes={self.stats['computes']}>"
+        )
 
 
-def reset_session(backend: str = "dask") -> Session:
-    """Fresh session (used between programs and benchmark runs)."""
-    global _session
-    _session = Session(backend=backend)
-    return _session
+# ---------------------------------------------------------------------------
+# Session resolution: per-thread stack over a shared root.
+# ---------------------------------------------------------------------------
+
+_tls = threading.local()
+_root_lock = threading.RLock()
+_root: Optional[Session] = None
+
+#: node id -> node (weak: an entry lives exactly as long as its node,
+#: i.e. no longer than the owning session's registry keeps it -- this
+#: adds no growth beyond the registry itself).  Node ids come from one
+#: process-wide counter, so ids are unambiguous across sessions.
+_nodes_by_id: "weakref.WeakValueDictionary[int, Node]" = (
+    weakref.WeakValueDictionary()
+)
+
+
+def node_for_id(node_id: int) -> Optional[Node]:
+    """Resolve a registered node by id, across all live sessions.
+
+    Lets f-string escape markers (section 3.3) resolve even when the
+    embedding string outlives the ``with Session(...)`` block it was
+    built in."""
+    return _nodes_by_id.get(node_id)
+
+
+def _stack() -> List[Session]:
+    stack = getattr(_tls, "stack", None)
+    if stack is None:
+        stack = []
+        _tls.stack = stack
+    return stack
+
+
+def current_session() -> Session:
+    """The innermost active session of this thread, else the root."""
+    stack = _stack()
+    if stack:
+        return stack[-1]
+    return root_session()
+
+
+def root_session() -> Session:
+    """The shared fallback session used outside any ``with Session``."""
+    global _root
+    if _root is None:
+        with _root_lock:
+            if _root is None:
+                _root = Session()
+    return _root
+
+
+def reset_root_session(
+    backend: Optional[str] = None, options: Optional[dict] = None
+) -> Session:
+    """Replace the root session (test/benchmark isolation hook).
+
+    Only affects code running *outside* explicit ``with Session(...)``
+    blocks; active session stacks are untouched.
+    """
+    global _root
+    with _root_lock:
+        # `backend=None` falls through to the options dict (or the
+        # registry default "dask"), so an options-supplied engine is
+        # not clobbered.
+        _root = Session(backend=backend, options=options)
+        return _root
 
 
 def _live_nodes(live_df) -> List[Node]:
@@ -185,3 +366,13 @@ def _live_nodes(live_df) -> List[Node]:
         if node is not None:
             nodes.append(node)
     return nodes
+
+
+def __getattr__(name: str):
+    # Deprecated process-global entry points live in repro.core.compat;
+    # keep `from repro.core.session import get_session` importable.
+    if name in ("get_session", "reset_session"):
+        from repro.core import compat
+
+        return getattr(compat, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -6,7 +6,7 @@ out the "widely used API" surface.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

@@ -17,7 +17,7 @@ from typing import Callable, Optional, Union
 
 import numpy as np
 
-from repro.frame.column import NA_CODE, Column
+from repro.frame.column import Column
 from repro.frame.index import Index, RangeIndex, default_index
 
 

@@ -8,8 +8,6 @@ trailing ``rolling`` means/sums.
 
 from __future__ import annotations
 
-from typing import Optional
-
 import numpy as np
 
 from repro.frame.column import Column

@@ -15,6 +15,7 @@ from repro.graph.taskgraph import (
     to_dot,
     topological_order,
 )
+from repro.graph.explain import render_plan
 from repro.graph.executor import Executor
 
 __all__ = [
@@ -25,6 +26,7 @@ __all__ = [
     "collect_subgraph",
     "node_counter",
     "register_op",
+    "render_plan",
     "series_used_columns",
     "to_dot",
     "topological_order",

@@ -13,10 +13,10 @@ wherever a side-effect node such as print needs real data).
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Sequence
 
 from repro.graph.node import Node
-from repro.graph.taskgraph import collect_subgraph, topological_order
+from repro.graph.taskgraph import topological_order
 
 
 class Executor:

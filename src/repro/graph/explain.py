@@ -1,0 +1,62 @@
+"""Plain-text task-graph rendering (``LazyFrame.explain()``).
+
+Unlike :func:`repro.graph.taskgraph.to_dot`, this renderer is meant for
+terminals and golden tests: nodes are renumbered ``N1..Nk`` in
+topological order (global node ids vary run to run), file paths collapse
+to their basename, and noisy args (print segments, inline data, UDFs)
+are elided -- the same pipeline always renders the same text.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Sequence
+
+from repro.graph.node import Node
+from repro.graph.taskgraph import topological_order
+
+#: args whose values are payloads, not plan structure.
+_ELIDED_ARGS = {"segments", "marker_map", "data"}
+
+_MAX_VALUE_CHARS = 48
+
+
+def _format_value(key: str, value) -> str:
+    if key == "path":
+        return os.path.basename(str(value))
+    if callable(value):
+        return "<fn>"
+    text = repr(value)
+    if len(text) > _MAX_VALUE_CHARS:
+        text = text[: _MAX_VALUE_CHARS - 3] + "..."
+    return text
+
+def _format_args(node: Node) -> str:
+    parts = []
+    for key, value in node.args.items():
+        if key in _ELIDED_ARGS or value is None:
+            continue
+        parts.append(f"{key}={_format_value(key, value)}")
+    return ", ".join(parts)
+
+
+def render_plan(roots: Sequence[Node]) -> str:
+    """One line per node, dependencies first, deterministically numbered."""
+    order = topological_order(list(roots))
+    numbers = {node.id: index + 1 for index, node in enumerate(order)}
+    lines: List[str] = []
+    for node in order:
+        line = f"N{numbers[node.id]} {node.op}"
+        args = _format_args(node)
+        if args:
+            line += f"({args})"
+        deps = ",".join(
+            f"N{numbers[dep.id]}" for dep in node.all_deps()
+            if dep.id in numbers
+        )
+        if deps:
+            line += f" <- [{deps}]"
+        if node.persist:
+            line += "  [persist]"
+        lines.append(line)
+    return "\n".join(lines)

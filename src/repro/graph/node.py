@@ -63,6 +63,9 @@ class Node:
         "computed",
         "persist",
         "label",
+        # weak-referenceable: the cross-session node map (marker
+        # resolution for lazy print) holds nodes weakly.
+        "__weakref__",
     )
 
     def __init__(

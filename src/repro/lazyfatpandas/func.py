@@ -19,12 +19,11 @@ escape-sequence mechanism.
 from __future__ import annotations
 
 import builtins
-import re
 from typing import List
 
 from repro.backends.base import MARKER_PATTERN
 from repro.core.lazyframe import LazyFrame, LazyObject, LazyScalar, LazySeries
-from repro.core.session import get_session
+from repro.core.session import current_session, node_for_id
 from repro.graph.node import Node
 
 _builtin_print = builtins.print
@@ -37,7 +36,13 @@ def print(*args, sep: str = " ", end: str = "\n", file=None, flush: bool = False
     Falls through to the builtin when neither a lazy value nor a lazy
     marker is involved (and a custom ``file`` always bypasses laziness).
     """
-    session = get_session()
+    # Queue on the session current at call time -- that is the session
+    # whose flush (explicit pd.flush(), forced compute, or `with
+    # Session(...)` exit) the caller can reach, so output is never
+    # stranded on an exited session.  Lazy values and markers from
+    # *other* sessions still resolve: inputs reference their nodes
+    # directly, and markers fall back to the cross-session node map.
+    session = current_session()
     involves_lazy = any(isinstance(a, LazyObject) for a in args) or any(
         isinstance(a, str) and MARKER_PATTERN.search(a) for a in args
     )
@@ -63,7 +68,11 @@ def print(*args, sep: str = " ", end: str = "\n", file=None, flush: bool = False
         elif isinstance(arg, str) and MARKER_PATTERN.search(arg):
             for match in MARKER_PATTERN.finditer(arg):
                 node_id = int(match.group(1))
-                node = session.node_registry.get(node_id)
+                # Each marker resolves through its *own* owner: the
+                # print's session first, then the cross-session map, so
+                # a marker string can mix with lazy values from another
+                # session.
+                node = session.node_registry.get(node_id) or node_for_id(node_id)
                 if node is None:
                     raise KeyError(
                         f"lazy print marker references unknown node {node_id}"
@@ -92,11 +101,11 @@ def print(*args, sep: str = " ", end: str = "\n", file=None, flush: bool = False
 def len(obj):  # noqa: A001 - deliberate builtin shadow (paper's lazy len)
     """Lazy ``len``: a LazyScalar for lazy collections, builtin otherwise."""
     if isinstance(obj, LazyFrame):
-        session = get_session()
+        session = obj.session
         node = Node("frame_len", inputs=[obj.node], label="len")
         return LazyScalar(session.register(node), session)
     if isinstance(obj, LazySeries):
-        session = get_session()
+        session = obj.session
         node = Node("series_len", inputs=[obj.node], label="len")
         return LazyScalar(session.register(node), session)
     return _builtin_len(obj)

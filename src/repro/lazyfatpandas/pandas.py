@@ -6,21 +6,75 @@ Importing this module as ``pd`` gives the paper's API:
   build the task graph instead of executing,
 - ``pd.analyze()`` triggers JIT static analysis of the calling program
   (section 2.4),
-- ``pd.flush()`` forces pending lazy prints (section 3.3),
-- ``pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS`` selects the executor
-  (section 2.6; default DASK).
+- ``pd.flush()`` forces pending lazy prints (section 3.3).
+
+Execution state lives in explicit :class:`~repro.core.session.Session`
+objects resolved per thread; everything here binds to the *current*
+session::
+
+    with pd.Session(backend="pandas") as s:
+        df = pd.read_csv("data.csv")     # bound to s
+        df.collect()                     # runs on s's pandas engine
+
+Configuration is pandas-style, per session and nestable::
+
+    pd.options.optimizer.predicate_pushdown      # read
+    pd.set_option("executor.cache", False)       # write
+    with pd.option_context("optimizer.metadata", False):
+        ...
+
+Scripts with no explicit session run on a shared root session, so the
+paper-verbatim two-line change still works.  The legacy backend selector
+``pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS`` is kept: assigning it
+forwards to ``set_option("backend.engine", ...)`` on the current session
+(the old pre-compute sync hooks are gone).
 """
 
 from __future__ import annotations
 
+import contextlib
 import enum
 import sys
+import types
+import warnings
 from typing import Optional, Sequence
 
+from repro.core.config import (
+    OptionError,
+    canonical_key,
+    describe_options,
+    is_foreign_option_key,
+    iter_option_pairs,
+    options,
+)
 from repro.core.lazyframe import LazyFrame, LazyObject, LazySeries
-from repro.core.session import SYNC_HOOKS, get_session, reset_session
+from repro.core.session import Session, current_session, reset_root_session
 from repro.frame.io_csv import read_header
 from repro.graph.node import Node
+
+__all__ = [
+    "BACKEND_ENGINE",
+    "BackendEngines",
+    "DataFrame",
+    "LazyFrame",
+    "LazySeries",
+    "OptionError",
+    "Session",
+    "analyze",
+    "concat",
+    "current_session",
+    "describe_options",
+    "flush",
+    "get_option",
+    "merge",
+    "option_context",
+    "options",
+    "read_csv",
+    "reset",
+    "set_backend",
+    "set_option",
+    "to_datetime",
+]
 
 
 class BackendEngines(enum.Enum):
@@ -31,20 +85,135 @@ class BackendEngines(enum.Enum):
     MODIN = "modin"
 
 
-#: Assign to choose the backend, e.g.
-#: ``pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS``.
+#: Legacy selector: assigning ``pd.BACKEND_ENGINE = pd.BackendEngines.X``
+#: sets ``backend.engine`` on the current session (see module docstring).
 BACKEND_ENGINE = BackendEngines.DASK
 
 
-def _sync_backend() -> None:
-    """Propagate the module-level backend choice into the session."""
-    session = get_session()
-    wanted = BACKEND_ENGINE.value
-    if session.backend_name != wanted:
-        session.set_backend(wanted)
+#: every module carrying the BACKEND_ENGINE write-through (the canonical
+#: module plus the ``lazyfatpandas.pandas`` alias).
+_SYNCED_MODULES = set()
 
 
-SYNC_HOOKS.append(_sync_backend)
+def set_backend(engine) -> None:
+    """Select the current session's execution backend by enum or name.
+
+    Also mirrors the choice into ``BACKEND_ENGINE`` on every facade
+    module, so the legacy selector and helpers that read it (e.g. the
+    ``reset()`` default) always reflect the last explicit choice, no
+    matter which module or API spelling made it.
+    """
+    name = engine.value if isinstance(engine, BackendEngines) else str(engine)
+    current_session().set_option("backend.engine", name)
+    try:
+        mirror = BackendEngines(name)
+    except ValueError:
+        mirror = name  # custom-registry engines keep their string name
+    # Direct ModuleType.__setattr__ avoids re-entering the write-through.
+    for module_name in _SYNCED_MODULES:
+        module = sys.modules.get(module_name)
+        if module is not None:
+            types.ModuleType.__setattr__(module, "BACKEND_ENGINE", mirror)
+
+
+class _BackendSyncModule(types.ModuleType):
+    """Module type forwarding ``BACKEND_ENGINE`` assignment into the
+    current session, replacing the retired module-level sync hooks."""
+
+    def __setattr__(self, name: str, value) -> None:
+        super().__setattr__(name, value)
+        if name == "BACKEND_ENGINE":
+            set_backend(value)
+
+
+def _install_backend_sync(module_name: str) -> None:
+    """Give a facade module the ``BACKEND_ENGINE`` write-through (also
+    applied to the ``lazyfatpandas.pandas`` alias module)."""
+    _SYNCED_MODULES.add(module_name)
+    sys.modules[module_name].__class__ = _BackendSyncModule
+
+
+# ---------------------------------------------------------------------------
+# Options (pandas-style, per current session).
+# ---------------------------------------------------------------------------
+
+
+def _canonical_pairs(args: tuple, kwargs: dict):
+    """Resolve (key, value) pairs to canonical LaFP keys, dropping
+    pandas-compat keys (``display.*``-style namespaces and bare
+    shorthand keys like ``"max_columns"``) with a warning so a dotless
+    typo of a legacy flag is at least visible.  Unknown dotted keys
+    outside the pandas namespaces raise -- a typo'd LaFP key must
+    error, never silently no-op.  One policy for ``set_option``,
+    ``get_option`` and ``option_context``.
+    """
+    pairs = []
+    for k, v in iter_option_pairs(args, kwargs):
+        key = str(k)
+        try:
+            pairs.append((canonical_key(key), v))
+        except OptionError:
+            if not is_foreign_option_key(key):
+                raise
+            warnings.warn(
+                f"ignoring pandas-compat option {key!r} (not an LaFP option)",
+                stacklevel=3,
+            )
+    return pairs
+
+
+def set_option(*args, **kwargs) -> None:
+    """Set options on the current session.
+
+    Accepts the same shapes as :func:`option_context`: key/value pairs,
+    a single mapping, or legacy flag names as keywords.  Dotted LaFP
+    keys (``optimizer.*``, ``backend.engine``, ``executor.cache``) and
+    legacy flag names are applied -- with their validation errors
+    surfaced.  pandas option keys are accepted and ignored so
+    unmodified pandas scripts keep running.
+    """
+    session = current_session()
+    for canon, v in _canonical_pairs(args, kwargs):
+        session.set_option(canon, v)
+
+
+def get_option(key):
+    """Read an option from the current session.
+
+    pandas-compat keys (tolerated as no-ops by :func:`set_option`)
+    read as ``None``.
+    """
+    key = str(key)
+    try:
+        canon = canonical_key(key)
+    except OptionError:
+        if is_foreign_option_key(key):
+            return None
+        raise
+    return current_session().get_option(canon)
+
+
+def option_context(*args, **kwargs):
+    """Nestable temporary option overrides on the current session::
+
+        with pd.option_context("optimizer.predicate_pushdown", False):
+            df.collect()
+
+    pandas-compat keys are dropped (no-op), matching :func:`set_option`.
+    Keys are validated immediately; the *target session* is resolved at
+    ``__enter__``.  When composing with a session in one statement, the
+    session must come first -- ``with pd.Session(...),
+    pd.option_context(...):`` -- so the overrides land on the new
+    session; the reverse order targets whatever session was current
+    before the statement.
+    """
+    return _option_context_cm(dict(_canonical_pairs(args, kwargs)))
+
+
+@contextlib.contextmanager
+def _option_context_cm(pairs):
+    with current_session().option_context(pairs):
+        yield
 
 
 # ---------------------------------------------------------------------------
@@ -70,8 +239,7 @@ def read_csv(
     mutated).  The runtime optimizer intersects them with metastore
     cardinality candidates to choose ``category`` dtypes safely.
     """
-    _sync_backend()
-    session = get_session()
+    session = current_session()
     args = {"path": path}
     if usecols is not None:
         args["usecols"] = list(usecols)
@@ -101,7 +269,7 @@ def read_csv(
 
 def DataFrame(data) -> LazyFrame:
     """Lazy in-memory frame construction."""
-    session = get_session()
+    session = current_session()
     node = Node("from_data", args={"data": data}, label="DataFrame")
     columns = list(data.keys()) if isinstance(data, dict) else None
     return LazyFrame(session.register(node), session, columns=columns)
@@ -113,8 +281,12 @@ def merge(left: LazyFrame, right: LazyFrame, **kwargs) -> LazyFrame:
 
 
 def concat(objs: Sequence[LazyObject], ignore_index: bool = True):
-    """Lazy row-wise concatenation."""
-    session = get_session()
+    """Lazy row-wise concatenation.
+
+    The result binds to the first input's session (like every derived
+    lazy object), not to whatever session is current at call time.
+    """
+    session = objs[0].session
     nodes = [o.node for o in objs]
     node = Node("concat", inputs=nodes, label="concat")
     session.register(node)
@@ -125,8 +297,8 @@ def concat(objs: Sequence[LazyObject], ignore_index: bool = True):
 
 
 def to_datetime(series: LazySeries) -> LazySeries:
-    """Lazy string-to-datetime conversion."""
-    session = get_session()
+    """Lazy string-to-datetime conversion (bound to the input's session)."""
+    session = series.session
     node = Node("to_datetime", inputs=[series.node], label="to_datetime")
     return LazySeries(session.register(node), session, name=series.name)
 
@@ -148,7 +320,6 @@ def analyze(run: bool = True) -> Optional[str]:
     With ``run=False`` the optimized source is returned instead of
     executed -- used by tests and by ``EXPERIMENTS.md`` tooling.
     """
-    _sync_backend()
     from repro.analysis.jit import jit_analyze
 
     return jit_analyze(depth=2, run=run)
@@ -156,14 +327,24 @@ def analyze(run: bool = True) -> Optional[str]:
 
 def flush() -> None:
     """Execute pending lazy prints (inserted by the rewriter, Figure 8)."""
-    _sync_backend()
-    get_session().flush()
+    current_session().flush()
 
 
 def reset(backend: Optional[str] = None) -> None:
-    """Start a fresh LaFP session (benchmark harness hook)."""
-    reset_session(backend or BACKEND_ENGINE.value)
+    """Replace the root LaFP session (benchmark harness hook).
+
+    Without an argument the fresh root uses the last explicit engine
+    choice (``BACKEND_ENGINE`` assignment or ``set_backend()`` keep the
+    module global current, wherever they were made); a choice made via
+    ``set_option("backend.engine", ...)`` on an explicit session stays
+    scoped to that session.  Prefer scoped ``with
+    pd.Session(backend=...)`` blocks; this only affects code running
+    outside any explicit session.
+    """
+    if backend is None:
+        engine = BACKEND_ENGINE
+        backend = engine.value if isinstance(engine, BackendEngines) else str(engine)
+    reset_root_session(backend)
 
 
-def set_option(*args, **kwargs) -> None:
-    """Accepted for pandas compatibility; LaFP has no display options."""
+_install_backend_sync(__name__)

@@ -24,7 +24,6 @@ from typing import Callable, Dict, List
 import numpy as np
 
 from repro.frame import DataFrame
-from repro.frame.column import Column
 
 #: rows for the "S" size of each dataset; M = 3x, L = 9x.
 BASE_ROWS = 12_000

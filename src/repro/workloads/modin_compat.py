@@ -16,7 +16,6 @@ from repro.backends.modin_sim.frame import (
     modin_read_csv,
 )
 from repro.frame import DataFrame as _EagerFrame
-from repro.frame import Series as _EagerSeries
 from repro.frame import concat as _eager_concat
 from repro.frame import to_datetime as _eager_to_datetime
 

@@ -29,7 +29,7 @@ import tempfile
 import time
 from typing import Dict, Iterable, List, Optional
 
-from repro.core.session import get_session, reset_session
+from repro.core.session import Session
 from repro.memory import memory_manager
 from repro.metastore import MetaStore
 from repro.workloads import datagen
@@ -158,8 +158,20 @@ class Runner:
         mode: str,
         size: str = "S",
         flag_overrides: Optional[Dict[str, bool]] = None,
+        options: Optional[Dict[str, object]] = None,
     ) -> RunResult:
-        """Execute one cell of the evaluation grid."""
+        """Execute one cell of the evaluation grid.
+
+        Each run executes inside its own :class:`Session` (activated via
+        the thread-local stack for the duration of the program), with
+        ``options`` applied through ``option_context`` -- no session or
+        flag state leaks between cells.  ``options`` takes dotted keys
+        (``{"executor.cache": False}``); ``flag_overrides`` accepts the
+        legacy flag names and is kept for older harnesses.  Dataset and
+        result paths still flow through process env vars
+        (``LAFP_DATA_DIR``/``LAFP_RESULT_DIR``), so fully parallel grids
+        should run cells in separate processes.
+        """
         if mode not in _HEADERS:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
         spec = PROGRAMS[program]
@@ -174,7 +186,10 @@ class Runner:
         with open(program_path, "w") as f:
             f.write(source)
 
-        self._reset_engines(mode, flag_overrides)
+        overrides: Dict[str, object] = dict(flag_overrides or {})
+        overrides.update(options or {})
+        session = self._make_session(mode)
+        self._reset_compat_state()
         env_before = self._set_env(size, result_dir)
         budget = self.budget_for(program)
         memory_manager.reset()
@@ -184,7 +199,12 @@ class Runner:
         ok, error = True, None
         start = time.perf_counter()
         try:
-            with contextlib.redirect_stdout(captured):
+            # redirect outermost: the session drains pending lazy prints
+            # on exit, and that output must land in the capture.  The
+            # option_context encloses the session for the same reason --
+            # the exit-time flush must still see the cell's overrides.
+            with contextlib.redirect_stdout(captured), \
+                    session.option_context(overrides), session:
                 runpy.run_path(program_path, run_name="__main__")
         except SystemExit:
             pass  # pd.analyze() replaced execution; normal completion
@@ -195,7 +215,7 @@ class Runner:
         seconds = time.perf_counter() - start
         peak = memory_manager.peak
         memory_manager.budget = None
-        self._cleanup_engines()
+        self._cleanup_engines(session)
         self._restore_env(env_before)
 
         digest = None
@@ -229,26 +249,27 @@ class Runner:
 
     # -- plumbing -----------------------------------------------------------------
 
-    def _reset_engines(self, mode: str, flag_overrides) -> None:
+    def _make_session(self, mode: str) -> Session:
+        """A fresh, isolated session for one grid cell."""
+        backend = _BACKEND_OF_MODE.get(mode, "pandas")
+        session = Session(backend=backend)
+        if mode in _BACKEND_OF_MODE:
+            session.metastore = self.metastore
+        return session
+
+    def _reset_compat_state(self) -> None:
         from repro.workloads import dask_compat, plotlib
 
         plotlib.state.reset()
         dask_compat.reset()
-        backend = _BACKEND_OF_MODE.get(mode, "pandas")
-        session = reset_session(backend)
-        if mode in _BACKEND_OF_MODE:
-            session.metastore = self.metastore
-        if flag_overrides:
-            for key, value in flag_overrides.items():
-                setattr(session.flags, key, value)
 
-    def _cleanup_engines(self) -> None:
+    def _cleanup_engines(self, session: Session) -> None:
         from repro.workloads import dask_compat
 
-        session = get_session()
-        backend = session._backend
-        if backend is not None and hasattr(backend, "store"):
-            backend.store.clear()
+        for engine in session._engines.values():
+            store = getattr(engine.backend, "store", None)
+            if store is not None:
+                store.clear()
         dask_compat.reset()
 
     def _set_env(self, size: str, result_dir: str) -> Dict[str, Optional[str]]:

@@ -7,20 +7,31 @@ import os
 import numpy as np
 import pytest
 
-from repro.core.session import reset_session
+from repro.core.session import reset_root_session
 from repro.frame import DataFrame
 from repro.memory import memory_manager
 
 
+def _clear_session_stack():
+    """Drop any session a failed test left on this thread's stack --
+    otherwise current_session() would ignore the fresh root below and
+    every later test would run on the dead test's session."""
+    from repro.core import session as session_module
+
+    session_module._stack().clear()
+
+
 @pytest.fixture(autouse=True)
 def _clean_state():
-    """Every test starts with a fresh session and unbudgeted memory."""
+    """Every test starts with a fresh root session and unbudgeted memory."""
     memory_manager.budget = None
     memory_manager.reset()
-    reset_session("pandas")
+    _clear_session_stack()
+    reset_root_session("pandas")
     yield
     memory_manager.budget = None
-    reset_session("pandas")
+    _clear_session_stack()
+    reset_root_session("pandas")
 
 
 @pytest.fixture

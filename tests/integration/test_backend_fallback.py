@@ -11,16 +11,16 @@ import numpy as np
 import pytest
 
 import repro.lazyfatpandas.pandas as lfp
-from repro.core.session import reset_session
+from repro.core.session import reset_root_session
 from repro.frame import read_csv
 
 
 @pytest.fixture(autouse=True)
 def _dask_backend():
     lfp.BACKEND_ENGINE = lfp.BackendEngines.DASK
-    reset_session("dask")
+    reset_root_session("dask")
     yield
-    session = reset_session("pandas")
+    session = reset_root_session("pandas")
     del session
 
 
@@ -72,7 +72,7 @@ class TestDaskFallbacks:
 class TestModinPath:
     def test_full_pipeline_on_modin(self, taxi_csv):
         lfp.BACKEND_ENGINE = lfp.BackendEngines.MODIN
-        reset_session("modin")
+        reset_root_session("modin")
         df = lfp.read_csv(taxi_csv, parse_dates=["tpep_pickup_datetime"])
         df = df[df.fare_amount > 0]
         df["hour"] = df.tpep_pickup_datetime.dt.hour
@@ -87,7 +87,7 @@ class TestModinPath:
 
     def test_modin_sort_is_native(self, taxi_csv):
         lfp.BACKEND_ENGINE = lfp.BackendEngines.MODIN
-        reset_session("modin")
+        reset_root_session("modin")
         df = lfp.read_csv(taxi_csv)
         out = df.sort_values("fare_amount").compute()
         values = out["fare_amount"].values

@@ -1,9 +1,6 @@
 """Integration: OOM behaviour (Figure 12 in miniature) and the paper's
 running examples (Figures 3/4 and 7/8)."""
 
-import os
-
-import numpy as np
 import pytest
 
 import repro.lazyfatpandas.pandas as lfp
@@ -116,11 +113,11 @@ class TestPaperFigures:
 
     def test_fig6_taskgraph_shape(self, taxi_csv):
         """The task graph of Figure 3's program has the Figure 6 nodes."""
-        from repro.core.session import reset_session
+        from repro.core.session import reset_root_session
         from repro.graph import collect_subgraph
 
         lfp.BACKEND_ENGINE = lfp.BackendEngines.PANDAS
-        reset_session("pandas")
+        reset_root_session("pandas")
         df = lfp.read_csv(taxi_csv, parse_dates=["tpep_pickup_datetime"])
         df = df[df.fare_amount > 0]
         df["day"] = df.tpep_pickup_datetime.dt.dayofweek

@@ -8,7 +8,7 @@ reference.
 import pytest
 
 from repro.workloads.programs import PROGRAMS
-from repro.workloads.runner import MODES, Runner
+from repro.workloads.runner import Runner
 from repro.workloads.verify import verify_program
 
 

@@ -11,14 +11,12 @@ import contextlib
 import io
 import os
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 import repro.lazyfatpandas.pandas as lfp
 from repro.analysis.scirpy import cfg_to_source, lower_source
 from repro.backends import DaskBackend
-from repro.core.session import reset_session
+from repro.core.session import reset_root_session
 from repro.frame import DataFrame, read_csv
 
 ints = st.integers(min_value=-100, max_value=100)
@@ -138,7 +136,7 @@ class TestOptimizerNeverChangesResults:
         expected = eager.groupby("k")["w"].sum()
 
         lfp.BACKEND_ENGINE = lfp.BackendEngines.PANDAS
-        reset_session("pandas")
+        reset_root_session("pandas")
         lazy = lfp.read_csv(path)
         lazy = lazy[lazy.v > threshold]
         lazy["w"] = lazy.v * 2

@@ -4,8 +4,6 @@ import gc
 import pickle
 
 import numpy as np
-import pytest
-
 from repro.frame.column import NA_CODE, Column
 from repro.frame.dtypes import CategoricalDtype, normalize_dtype
 from repro.memory import memory_manager

@@ -4,7 +4,7 @@ import numpy as np
 import pytest
 
 from repro.backends import BackendUnsupported, DaskBackend
-from repro.backends.dask_sim.frame import DaskFrame, DaskScalar, DaskSeries
+from repro.backends.dask_sim.frame import DaskFrame
 from repro.frame import DataFrame, read_csv
 from repro.memory import memory_manager
 

@@ -1,7 +1,5 @@
 """Unit tests for the dataflow analyses: LVA, LAA, LDA, read-only."""
 
-import pytest
-
 from repro.analysis.scirpy import lower_source
 from repro.analysis.dataflow import (
     Kind,

@@ -1,0 +1,119 @@
+"""Golden tests for ``LazyFrame.explain()`` on the quickstart pipeline.
+
+The rendered plan is deterministic (topological renumbering, basename
+paths), so optimizer regressions show up as a plain text diff against
+the snapshots below: predicate pushdown moves the filter below the
+setitem, and projection pushdown narrows the read to the used columns.
+"""
+
+import numpy as np
+import pytest
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.core.session import Session
+
+
+@pytest.fixture
+def trips_csv(make_csv):
+    n = 50
+    return make_csv(
+        {
+            "pickup_time": np.array(
+                ["2024-06-%02d 09:00:00" % (i % 28 + 1) for i in range(n)],
+                dtype=object,
+            ),
+            "passengers": np.arange(n) % 5 + 1,
+            "fare": np.round(np.linspace(-5, 40, n), 2),
+            "note_a": np.array([f"a{i}" for i in range(n)], dtype=object),
+        },
+        "trips.csv",
+    )
+
+
+def quickstart_pipeline(path):
+    """The paper's Figure 3 shape: derive a column, then filter."""
+    df = lfp.read_csv(path, parse_dates=["pickup_time"])
+    df["hour"] = df.pickup_time.dt.hour
+    df = df[df.fare > 0]
+    return df.groupby(["hour"])["passengers"].sum()
+
+
+RAW_PLAN = """\
+N1 read_csv(path=trips.csv, parse_dates=['pickup_time'])
+N2 getitem_column(column='pickup_time') <- [N1]
+N3 dt_field(field='hour') <- [N2]
+N4 setitem(column='hour') <- [N1,N3]
+N5 getitem_column(column='fare') <- [N4]
+N6 binop(op='>', reflected=False, right=0) <- [N5]
+N7 filter <- [N4,N6]
+N8 groupby_agg(keys=['hour'], column='passengers', func='sum') <- [N7]"""
+
+# With pushdown on: the filter drops below the setitem (N4 filter reads
+# N1 directly), an identity fills the filter's old slot, and the read is
+# narrowed to the three used columns.
+OPTIMIZED_PLAN_PUSHDOWN_ON = """\
+N1 read_csv(path=trips.csv, parse_dates=['pickup_time'], usecols=['fare', 'passengers', 'pickup_time'])
+N2 getitem_column(column='fare') <- [N1]
+N3 binop(op='>', reflected=False, right=0) <- [N2]
+N4 filter <- [N1,N3]
+N5 getitem_column(column='pickup_time') <- [N4]
+N6 dt_field(field='hour') <- [N5]
+N7 setitem(column='hour') <- [N4,N6]
+N8 identity <- [N7]
+N9 groupby_agg(keys=['hour'], column='passengers', func='sum') <- [N8]"""
+
+
+def _sections(text):
+    """Split explain() output into (raw, optimized) plan bodies."""
+    raw, optimized = text.split("== optimized plan ==")
+    raw = raw.replace("== raw plan ==", "").strip()
+    return raw, optimized.strip()
+
+
+class TestExplainGolden:
+    def test_plan_with_pushdown_on(self, trips_csv):
+        with Session(backend="pandas"):
+            out = quickstart_pipeline(trips_csv)
+            raw, optimized = _sections(out.explain())
+        assert raw == RAW_PLAN
+        assert optimized == OPTIMIZED_PLAN_PUSHDOWN_ON
+
+    def test_plan_with_pushdown_off(self, trips_csv):
+        with Session(backend="pandas") as session:
+            out = quickstart_pipeline(trips_csv)
+            with session.option_context(
+                "optimizer.predicate_pushdown", False,
+                "optimizer.projection_pushdown", False,
+            ):
+                raw, optimized = _sections(out.explain())
+        assert raw == RAW_PLAN
+        # no filter motion, no usecols narrowing: plan is unchanged
+        assert optimized == RAW_PLAN
+
+    def test_explain_has_no_side_effects(self, trips_csv):
+        """explain() must not change what a later collect computes."""
+        with Session(backend="pandas"):
+            out = quickstart_pipeline(trips_csv)
+            before = out.explain()
+            value = out.collect().values.sum()
+            after = out.explain()
+        assert before == after
+        assert value == 134
+
+    def test_explain_restores_persist_marks(self, trips_csv):
+        """On a lazy backend the optimizer pins shared nodes; explain()
+        must roll those marks back."""
+        with Session(backend="dask"):
+            df = lfp.read_csv(trips_csv)
+            filtered = df[df.fare > 0]
+            # two consumers of `filtered` => persist_shared_nodes fires
+            total = filtered.passengers.sum() + filtered.fare.sum()
+            total.explain()
+            assert not filtered.node.persist
+
+    def test_raw_only(self, trips_csv):
+        with Session(backend="pandas"):
+            out = quickstart_pipeline(trips_csv)
+            text = out.explain(optimized=False)
+        assert "== raw plan ==" in text
+        assert "== optimized plan ==" not in text

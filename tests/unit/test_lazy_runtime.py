@@ -1,14 +1,11 @@
 """Unit tests for the LaFP lazy wrappers, lazy print, and session."""
 
 import io
-import contextlib
 
-import numpy as np
 import pytest
 
 import repro.lazyfatpandas.pandas as lfp
 from repro.core.session import get_session, reset_session
-from repro.frame import DataFrame, Series
 from repro.lazyfatpandas.func import len as lazy_len
 from repro.lazyfatpandas.func import print as lazy_print
 

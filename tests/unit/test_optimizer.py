@@ -12,15 +12,15 @@ from repro.core.optimizer import (
     push_down_projections,
 )
 from repro.core.optimizer.predicate_pushdown import structurally_equal
-from repro.core.session import get_session, reset_session
-from repro.graph import Node, collect_subgraph, node_counter
+from repro.core.session import current_session, reset_root_session
+from repro.graph import Node, collect_subgraph
 from repro.metastore import MetaStore
 
 
 @pytest.fixture(autouse=True)
 def _pandas_backend():
     lfp.BACKEND_ENGINE = lfp.BackendEngines.PANDAS
-    reset_session("pandas")
+    reset_root_session("pandas")
     yield
     lfp.BACKEND_ENGINE = lfp.BackendEngines.DASK
 
@@ -195,7 +195,7 @@ class TestProjectionPushdown:
         df = lfp.read_csv(taxi_csv)
         lazy_print(df.head())
         total = df.groupby(["vendor"])["fare_amount"].sum()
-        session = get_session()
+        session = current_session()
         roots = list(session.pending_prints) + [total.node]
         narrowed = push_down_projections(roots)
         assert narrowed == 1
@@ -207,7 +207,7 @@ class TestProjectionPushdown:
         df = lfp.read_csv(taxi_csv)
         lazy_print(df)
         total = df.groupby(["vendor"])["fare_amount"].sum()
-        session = get_session()
+        session = current_session()
         roots = list(session.pending_prints) + [total.node]
         assert push_down_projections(roots) == 0
         session.pending_prints.clear()
@@ -233,7 +233,7 @@ class TestMetadataOptimization:
         path = make_csv({"cat": ["a", "b"] * 100, "num": list(range(200))})
         store = MetaStore(str(tmp_path / "ms"))
         store.compute_and_store(path, sample_rows=None)
-        session = get_session()
+        session = current_session()
         session.metastore = store
 
         df = lfp.read_csv(path)
@@ -251,7 +251,7 @@ class TestMetadataOptimization:
         path = make_csv({"cat": ["a", "b"] * 100, "num": list(range(200))})
         store = MetaStore(str(tmp_path / "ms"))
         store.compute_and_store(path, sample_rows=None)
-        get_session().metastore = store
+        current_session().metastore = store
 
         df = lfp.read_csv(path)
         df["cat"] = df.cat.str.upper()  # mutation: category unsafe
@@ -267,7 +267,7 @@ class TestMetadataOptimization:
         path = make_csv({"cat": ["a", "b"] * 100, "num": list(range(200))})
         store = MetaStore(str(tmp_path / "ms"))
         store.compute_and_store(path, sample_rows=None)
-        get_session().metastore = store
+        current_session().metastore = store
 
         df = lfp.read_csv(path, mutated_cols=["cat"])
         out = df.groupby(["cat"])["num"].sum()
@@ -288,7 +288,7 @@ class TestMetadataOptimization:
 
 class TestFlagToggles:
     def test_flags_disable_rules(self, taxi_csv):
-        session = get_session()
+        session = current_session()
         session.flags.predicate_pushdown = False
         session.flags.projection_pushdown = False
         session.flags.common_subexpression = False

@@ -2,10 +2,8 @@
 
 import os
 import runpy
-import subprocess
 import sys
 
-import numpy as np
 import pytest
 
 from repro.analysis.jit import optimize_source

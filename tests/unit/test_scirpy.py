@@ -7,7 +7,6 @@ import io
 import pytest
 
 from repro.analysis.scirpy import (
-    CFG,
     StmtKind,
     build_regions,
     cfg_to_source,

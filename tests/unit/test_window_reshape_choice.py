@@ -89,10 +89,10 @@ class TestReshape:
 class TestBackendChoice:
     def _graph(self, path, usecols=None, with_sort=False):
         import repro.lazyfatpandas.pandas as lfp
-        from repro.core.session import reset_session
+        from repro.core.session import reset_root_session
 
         lfp.BACKEND_ENGINE = lfp.BackendEngines.PANDAS
-        reset_session("pandas")
+        reset_root_session("pandas")
         df = lfp.read_csv(path, usecols=usecols)
         if with_sort:
             df = df.sort_values("num")
@@ -160,11 +160,11 @@ class TestBackendChoice:
 
     def test_auto_select_installs_backend(self, setup):
         from repro.core.backend_choice import auto_select
-        from repro.core.session import get_session
+        from repro.core.session import current_session
 
         path, store = setup
         root = self._graph(path)
-        session = get_session()
+        session = current_session()
         session.metastore = store
         chosen = auto_select(session, [root])
         assert session.backend_name == chosen
