@@ -42,9 +42,9 @@ def _auto_partition_bytes(default: int) -> int:
     bytes; keep roughly 24 working partitions inside the budget so one
     in-flight partition plus partial aggregates always fit.
     """
-    from repro.memory import memory_manager
+    from repro.memory import current_memory_manager
 
-    budget = memory_manager.budget
+    budget = current_memory_manager().budget
     if budget is None:
         return default
     return min(default, max(1 << 12, budget // 24))

@@ -16,7 +16,7 @@ import tempfile
 import threading
 from typing import Dict, Optional
 
-from repro.memory import memory_manager
+from repro.memory import current_memory_manager
 
 #: Spill until live bytes drop below this fraction of the budget.
 LOW_WATER = 0.5
@@ -100,10 +100,11 @@ class PartitionStore:
         ``protect`` names handle ids that must stay resident (inputs of the
         partition currently being computed).
         """
-        budget = memory_manager.budget
+        manager = current_memory_manager()
+        budget = manager.budget
         if budget is None:
             return
-        if memory_manager.live < HIGH_WATER * budget:
+        if manager.live < HIGH_WATER * budget:
             return
         protect = protect or set()
         with self._lock:
@@ -116,7 +117,7 @@ class PartitionStore:
                 key=lambda h: self._last_used[h.id],
             )
         for handle in candidates:
-            if memory_manager.live <= LOW_WATER * budget:
+            if manager.live <= LOW_WATER * budget:
                 break
             handle.spill()
             self.spill_count += 1

@@ -39,6 +39,11 @@ class EngineSpec:
     partitioned: bool = False
     #: can spill partitions to disk under memory pressure.
     out_of_core: bool = False
+    #: ``backend.apply`` may run for independent nodes concurrently from
+    #: scheduler worker threads.  Lazy simulators keep this False: their
+    #: "apply" just extends a shared expression graph, so the threaded
+    #: strategy would serialize on the store anyway.
+    supports_parallel_apply: bool = False
     description: str = ""
 
 
@@ -66,6 +71,10 @@ class Engine:
     @property
     def out_of_core(self) -> bool:
         return self.spec.out_of_core
+
+    @property
+    def supports_parallel_apply(self) -> bool:
+        return self.spec.supports_parallel_apply
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Engine {self.name} lazy={self.is_lazy}>"
@@ -127,6 +136,7 @@ def _modin_factory() -> Backend:
 DEFAULT_REGISTRY = EngineRegistry([
     EngineSpec(
         "pandas", _pandas_factory,
+        supports_parallel_apply=True,
         description="eager, whole-frame, in-memory",
     ),
     EngineSpec(
@@ -136,7 +146,7 @@ DEFAULT_REGISTRY = EngineRegistry([
     ),
     EngineSpec(
         "modin", _modin_factory,
-        partitioned=True,
+        partitioned=True, supports_parallel_apply=True,
         description="eager, partitioned, in-memory",
     ),
 ])

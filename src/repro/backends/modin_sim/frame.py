@@ -27,10 +27,27 @@ _POOL = ThreadPoolExecutor(
 
 
 def _pmap(func: Callable, items: Sequence) -> List:
-    """Parallel map over partitions (exceptions propagate)."""
+    """Parallel map over partitions (exceptions propagate).
+
+    The calling thread's session is re-activated on the pool threads for
+    the duration of each call, so buffers the partitions allocate
+    register with the *calling* session's memory manager, not the
+    process root's.
+    """
     if len(items) <= 1:
         return [func(item) for item in items]
-    return list(_POOL.map(func, items))
+    from repro.core.session import current_session
+
+    session = current_session()
+
+    def bound(item):
+        session.activate()
+        try:
+            return func(item)
+        finally:
+            session.deactivate()
+
+    return list(_POOL.map(bound, items))
 
 
 def modin_read_csv(
@@ -43,9 +60,9 @@ def modin_read_csv(
     compact_strings: bool = True,
 ) -> "ModinFrame":
     """Partitioned eager CSV read with Arrow-style string compaction."""
-    from repro.memory import memory_manager
+    from repro.memory import current_memory_manager
 
-    budget = memory_manager.budget
+    budget = current_memory_manager().budget
     if budget is not None:
         partition_bytes = min(partition_bytes, max(1 << 12, budget // 24))
     n_partitions = max(1, os.path.getsize(path) // partition_bytes)

@@ -127,10 +127,8 @@ def pick(estimates: List[BackendEstimate]) -> str:
 
 def auto_select(session, roots: Sequence[Node]) -> str:
     """Choose and install a backend on ``session`` for this computation."""
-    from repro.memory import memory_manager
-
     estimates = choose_backend_for_roots(
-        roots, session.metastore, memory_manager.budget
+        roots, session.metastore, session.memory.budget
     )
     backend = pick(estimates)
     session.set_backend(backend)

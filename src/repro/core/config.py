@@ -13,16 +13,23 @@ runtime.  The public surface mirrors pandas:
 
 Registered keys:
 
-========================================  =======  ==================================
+========================================  =========  ==================================
 key                                       default
-========================================  =======  ==================================
-``backend.engine``                        "dask"   execution engine name
-``optimizer.predicate_pushdown``          True     section 3.2 filter motion
-``optimizer.common_subexpression``        True     CSE + shared-node merging
-``optimizer.projection_pushdown``         True     required-column inference
-``optimizer.metadata``                    True     metastore dtype hints (section 3.6)
-``executor.cache``                        True     live_df persistence (section 3.5)
-========================================  =======  ==================================
+========================================  =========  ==================================
+``backend.engine``                        "dask"     execution engine name
+``optimizer.predicate_pushdown``          True       section 3.2 filter motion
+``optimizer.common_subexpression``        True       CSE + shared-node merging
+``optimizer.projection_pushdown``         True       required-column inference
+``optimizer.metadata``                    True       metastore dtype hints (section 3.6)
+``executor.cache``                        True       live_df persistence (section 3.5)
+``executor.strategy``                     "serial"   scheduler strategy (serial /
+                                                     threaded / fused); env default
+                                                     via ``LAFP_EXECUTOR_STRATEGY``
+``executor.max_workers``                  4          threaded-strategy pool size
+``memory.budget``                         None       per-session simulated byte budget
+``workload.data_dir``                     None       dataset dir for benchmark programs
+``workload.result_dir``                   None       result dir for benchmark programs
+========================================  =========  ==================================
 
 The pre-Session ``OptimizationFlags`` attribute names (``caching``,
 ``predicate_pushdown``, ...) are accepted everywhere a key is accepted,
@@ -34,6 +41,7 @@ from __future__ import annotations
 
 import contextlib
 import dataclasses
+import os
 from typing import Callable, Dict, Iterator, Mapping, Optional, Tuple
 
 
@@ -162,10 +170,60 @@ register_option(
     doc="Metastore-driven dtype hints and category encoding (section 3.6).",
     validator=_validate_bool,
 )
+def _validate_positive_int(value: object) -> None:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+        raise OptionError(f"expected a positive int, got {value!r}")
+
+
+def _validate_optional_bytes(value: object) -> None:
+    if value is None:
+        return
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise OptionError(
+            f"expected None or a non-negative byte count, got {value!r}"
+        )
+
+
+def _validate_optional_str(value: object) -> None:
+    if value is not None and (not isinstance(value, str) or not value):
+        raise OptionError(f"expected None or a non-empty string, got {value!r}")
+
+
 register_option(
     "executor.cache", True,
     doc="live_df-driven persistence of shared subexpressions (section 3.5).",
     validator=_validate_bool,
+)
+register_option(
+    "executor.strategy", os.environ.get("LAFP_EXECUTOR_STRATEGY", "serial"),
+    doc="Scheduler strategy resolved through the session's "
+        "ExecutorRegistry ('serial', 'threaded', or 'fused'); the "
+        "LAFP_EXECUTOR_STRATEGY env var sets the process default (the CI "
+        "parallel-path leg uses it).",
+    validator=_validate_str,
+)
+register_option(
+    "executor.max_workers", 4,
+    doc="Worker-pool size of the threaded scheduler strategy.",
+    validator=_validate_positive_int,
+)
+register_option(
+    "memory.budget", None,
+    doc="Per-session simulated memory budget in bytes (None = unbudgeted). "
+        "Each session's allocations count only against its own budget.",
+    validator=_validate_optional_bytes,
+)
+register_option(
+    "workload.data_dir", None,
+    doc="Directory benchmark programs read datasets from (replaces the "
+        "LAFP_DATA_DIR env var so parallel grid cells cannot race).",
+    validator=_validate_optional_str,
+)
+register_option(
+    "workload.result_dir", None,
+    doc="Directory benchmark programs write results to (replaces the "
+        "LAFP_RESULT_DIR env var so parallel grid cells cannot race).",
+    validator=_validate_optional_str,
 )
 
 
@@ -203,6 +261,10 @@ class SessionOptions:
         if key in self._values:
             return self._values[key]
         return _REGISTRY[key].default
+
+    def is_set(self, key: str) -> bool:
+        """True when ``key`` was explicitly set (not falling to default)."""
+        return canonical_key(key) in self._values
 
     def set(self, key: str, value: object) -> None:
         key = canonical_key(key)

@@ -79,11 +79,15 @@ class LazyObject:
         self._session.compute(self._node, live_df=[self])
         return self
 
-    def explain(self, optimized: bool = True) -> str:
+    def explain(self, optimized: bool = True, stats: bool = False) -> str:
         """Text rendering of this object's task graph: the raw plan and
         (unless ``optimized=False``) the plan after the session's
-        optimizer rules ran.  Never executes or mutates the graph."""
-        return self._session.explain(self._node, optimized=optimized)
+        optimizer rules ran.  ``stats=True`` appends the session's most
+        recent per-node execution statistics (populate them with a
+        ``collect()`` first).  Never executes or mutates the graph."""
+        return self._session.explain(
+            self._node, optimized=optimized, stats=stats
+        )
 
     # -- deferred formatting (section 3.3) ---------------------------------
 

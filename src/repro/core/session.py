@@ -7,6 +7,13 @@ A :class:`Session` owns everything one logical program needs:
 - per-session :class:`~repro.backends.engine.Engine` instances resolved
   through an :class:`~repro.backends.engine.EngineRegistry`, so two
   sessions can run different backends concurrently,
+- a per-session :class:`~repro.memory.manager.MemoryManager` (budgeted
+  via the ``memory.budget`` option), so concurrent sessions account and
+  budget their allocations independently -- the root session adopts the
+  historical process-wide manager,
+- an :class:`~repro.graph.scheduler.ExecutorRegistry` from which the
+  ``executor.strategy`` option picks the execution strategy (serial /
+  threaded / fused) for every ``collect()``,
 - the chain of pending lazy-print nodes (section 3.3),
 - the set of persisted nodes from ``persist()`` / ``compute(live_df=...)``
   calls (section 3.5), released once no longer live,
@@ -34,7 +41,18 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.backends.engine import DEFAULT_REGISTRY, Engine, EngineRegistry
 from repro.core.config import OptimizerFlagsView, SessionOptions
-from repro.graph import Executor, Node, collect_subgraph, render_plan
+from repro.graph import Node, collect_subgraph, render_plan
+from repro.graph.scheduler import (
+    DEFAULT_EXECUTORS,
+    ExecutionStats,
+    ExecutorRegistry,
+    Scheduler,
+)
+from repro.memory.manager import MemoryManager, memory_manager as _root_memory
+
+
+#: "the memory.budget option has never written through to the manager".
+_BUDGET_UNSYNCED = object()
 
 
 class Session:
@@ -51,12 +69,23 @@ class Session:
         options: Optional[dict] = None,
         registry: Optional[EngineRegistry] = None,
         metastore=None,
+        executors: Optional[ExecutorRegistry] = None,
+        memory: Optional[MemoryManager] = None,
     ):
         self.options = SessionOptions(options)
         if backend is not None:
             self.options.set("backend.engine", backend)
         self.registry = registry or DEFAULT_REGISTRY
+        self.executors = executors or DEFAULT_EXECUTORS
         self._engines: Dict[str, Engine] = {}
+        # Each session accounts memory on its own manager; the root
+        # session injects the historical process-wide one.
+        if memory is None:
+            memory = MemoryManager()
+        self._memory = memory
+        #: manager budget saved before the first option write-through, so
+        #: leaving an option_context restores it (sentinel = never synced).
+        self._budget_before_option: object = _BUDGET_UNSYNCED
         self.last_print: Optional[Node] = None
         self.pending_prints: List[Node] = []
         self.node_registry: Dict[int, Node] = {}
@@ -64,6 +93,7 @@ class Session:
         self.metastore = metastore  # set lazily; tests may inject one
         self.stats = {"computes": 0, "nodes_executed": 0}
         self.last_optimize_report: Optional[dict] = None
+        self.last_execution_stats: Optional[ExecutionStats] = None
 
     # -- options -----------------------------------------------------------
 
@@ -108,6 +138,55 @@ class Session:
     def set_backend(self, name: str) -> None:
         """Routes through the options so there is one source of truth."""
         self.options.set("backend.engine", name)
+
+    # -- memory ------------------------------------------------------------
+
+    @property
+    def memory(self) -> MemoryManager:
+        """This session's memory manager.
+
+        An explicitly-set ``memory.budget`` option writes through on
+        access, and the manager's prior budget comes back once the
+        option is unset again -- ``option_context("memory.budget", ...)``
+        budgets exactly its scope.  When the option was never touched
+        the manager's own budget is authoritative, so harness code that
+        assigns ``memory_manager.budget`` directly keeps working at root.
+        """
+        if self.options.is_set("memory.budget"):
+            if self._budget_before_option is _BUDGET_UNSYNCED:
+                self._budget_before_option = self._memory.budget
+            self._memory.budget = self.options.get("memory.budget")
+        elif self._budget_before_option is not _BUDGET_UNSYNCED:
+            self._memory.budget = self._budget_before_option
+            self._budget_before_option = _BUDGET_UNSYNCED
+        return self._memory
+
+    # -- scheduling --------------------------------------------------------
+
+    def scheduler(self) -> Scheduler:
+        """Build the scheduler the ``executor.strategy`` option names.
+
+        Strategies that run ``backend.apply`` concurrently fall back to
+        ``serial`` on engines without ``supports_parallel_apply`` (the
+        lazy simulators build shared expression graphs); the returned
+        scheduler's stats report both the requested and effective
+        strategy.
+        """
+        requested = str(self.options.get("executor.strategy")).lower()
+        spec = self.executors.spec(requested)
+        if (
+            spec.requires_parallel_apply
+            and not self.engine.supports_parallel_apply
+        ):
+            spec = self.executors.spec("serial")
+        scheduler = spec.create(
+            self.backend,
+            session=self,
+            memory=self.memory,
+            max_workers=int(self.options.get("executor.max_workers")),
+        )
+        scheduler.requested_strategy = requested
+        return scheduler
 
     # -- activation --------------------------------------------------------
 
@@ -197,9 +276,15 @@ class Session:
         self._run(roots, live_nodes=[])
         self.pending_prints.clear()
 
-    def explain(self, node: Node, optimized: bool = True) -> str:
+    def explain(self, node: Node, optimized: bool = True,
+                stats: bool = False) -> str:
         """Render ``node``'s task graph as text: the raw plan and (by
         default) the plan after this session's optimizer rules ran.
+
+        With ``stats=True`` the session's most recent execution
+        statistics (per-node wall time, queue wait, bytes registered and
+        released, fusion and throttle counters) are appended -- run a
+        ``collect()`` first to populate them.
 
         Purely observational: the graph, persist marks, and the session's
         persisted set are restored afterwards, so ``explain()`` never
@@ -223,6 +308,12 @@ class Session:
                     marked.persist = flag
                 self.persisted = persisted_before
                 self.last_optimize_report = report_before
+        if stats:
+            sections += ["", "== last execution stats =="]
+            if self.last_execution_stats is None:
+                sections.append("(no execution recorded yet; collect() first)")
+            else:
+                sections.append(self.last_execution_stats.render())
         return "\n".join(sections)
 
     def _run(self, roots: List[Node], live_nodes: List[Node]):
@@ -235,12 +326,17 @@ class Session:
         # Results survive restoration: a node's value is the same in the
         # optimized and original graphs.
         snapshot = self._snapshot(roots)
+        scheduler = self.scheduler()
         try:
             optimize(roots, self, live_nodes=live_nodes)
-            executor = Executor(self.backend)
-            results = executor.execute(roots)
+            results = scheduler.execute(roots)
         finally:
             self._restore(snapshot)
+            if scheduler.last_stats is not None:
+                self.last_execution_stats = scheduler.last_stats
+                self.stats["nodes_executed"] += (
+                    scheduler.last_stats.nodes_executed
+                )
         self.stats["computes"] += 1
         self._release_dead_persists(live_nodes)
         return results
@@ -333,7 +429,7 @@ def root_session() -> Session:
     if _root is None:
         with _root_lock:
             if _root is None:
-                _root = Session()
+                _root = Session(memory=_root_memory)
     return _root
 
 
@@ -349,8 +445,9 @@ def reset_root_session(
     with _root_lock:
         # `backend=None` falls through to the options dict (or the
         # registry default "dask"), so an options-supplied engine is
-        # not clobbered.
-        _root = Session(backend=backend, options=options)
+        # not clobbered.  The root session always adopts the process
+        # manager so direct `memory_manager.budget = ...` keeps working.
+        _root = Session(backend=backend, options=options, memory=_root_memory)
         return _root
 
 

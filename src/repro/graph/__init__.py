@@ -3,28 +3,51 @@
 Nodes represent dataframe operations; an edge A -> B means *B depends on
 A's result* (data dependency) or *B must run after A* (ordering edge, used
 by lazy print).  The graph is built implicitly by the lazy wrapper objects
-in :mod:`repro.core` and executed by :class:`repro.graph.executor.Executor`
-in topological order with in-degree refcounting so intermediate results
-are freed as soon as their last consumer has run (section 2.6).
+in :mod:`repro.core` and executed by a strategy from
+:mod:`repro.graph.scheduler` (serial / threaded / fused, selected via the
+``executor.strategy`` session option), all of which free intermediate
+results as soon as their last consumer has run (section 2.6).
 """
 
 from repro.graph.node import Node, OpSpec, OPS, register_op, series_used_columns
 from repro.graph.taskgraph import (
     collect_subgraph,
+    consumers_by_id,
+    dependency_counts,
+    initial_refcounts,
+    needed_nodes,
     node_counter,
+    ready_nodes,
     to_dot,
     topological_order,
 )
 from repro.graph.explain import render_plan
 from repro.graph.executor import Executor
+from repro.graph.scheduler import (
+    DEFAULT_EXECUTORS,
+    ExecutionStats,
+    ExecutorRegistry,
+    Scheduler,
+    SchedulerSpec,
+)
 
 __all__ = [
+    "DEFAULT_EXECUTORS",
+    "ExecutionStats",
     "Executor",
+    "ExecutorRegistry",
     "Node",
     "OPS",
     "OpSpec",
+    "Scheduler",
+    "SchedulerSpec",
     "collect_subgraph",
+    "consumers_by_id",
+    "dependency_counts",
+    "initial_refcounts",
+    "needed_nodes",
     "node_counter",
+    "ready_nodes",
     "register_op",
     "render_plan",
     "series_used_columns",

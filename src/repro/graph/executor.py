@@ -1,88 +1,16 @@
-"""Task-graph executor (section 2.6).
+"""Task-graph executor (section 2.6) -- compatibility shim.
 
-Executes a subgraph in topological order.  For eager backends each node's
-``result`` holds a materialized frame; an in-degree refcount is taken
-before execution and decremented as consumers run, clearing results the
-moment their last consumer has used them so Python's GC can reclaim the
-buffers -- the paper's memory-minimizing execution.
-
-For lazy backends (the Dask simulator) each node's ``result`` holds a
-*lazy* backend expression; materialization happens once at the roots (or
-wherever a side-effect node such as print needs real data).
+Execution moved into the :mod:`repro.graph.scheduler` subsystem, where
+strategies (``serial``, ``threaded``, ``fused``) are selected per
+session through the ``executor.strategy`` option.  ``Executor`` is kept
+as the historical name of the serial strategy so existing callers
+(``Executor(backend).execute(roots)``) run unchanged.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
-
-from repro.graph.node import Node
-from repro.graph.taskgraph import topological_order
+from repro.graph.scheduler.serial import SerialScheduler
 
 
-class Executor:
-    """Runs subgraphs against a backend."""
-
-    def __init__(self, backend):
-        self.backend = backend
-
-    def execute(self, roots: Sequence[Node]) -> List[object]:
-        """Compute ``roots``; returns their materialized results."""
-        order = topological_order(roots)
-        needed = self._needed_nodes(roots)
-        order = [n for n in order if n.id in needed]
-        refcounts = self._initial_refcounts(order)
-        root_ids = {r.id for r in roots}
-
-        for node in order:
-            if node.computed:
-                continue  # cached (persisted) result; inputs not re-read
-            inputs = [inp.result for inp in node.inputs]
-            value = self.backend.apply(node, inputs)
-            if node.persist:
-                # Section 3.5: persist shared subexpressions.  On lazy
-                # backends this materializes (and pins) the partitions.
-                value = self.backend.persist(value)
-            node.set_result(value)
-            # Release inputs whose consumers have all run (section 2.6).
-            for inp in node.inputs:
-                if inp.id not in refcounts:
-                    continue
-                refcounts[inp.id] -= 1
-                if (
-                    refcounts[inp.id] == 0
-                    and inp.id not in root_ids
-                    and not inp.persist
-                ):
-                    inp.clear_result()
-
-        results = []
-        for root in roots:
-            value = self.backend.materialize(root.result)
-            root.result = value
-            results.append(value)
-        return results
-
-    def _needed_nodes(self, roots: Sequence[Node]) -> set:
-        """Culling: traversal stops at nodes with cached (persisted)
-        results -- their inputs need not recompute."""
-        needed = set()
-        stack = list(roots)
-        while stack:
-            node = stack.pop()
-            if node.id in needed:
-                continue
-            needed.add(node.id)
-            if not node.computed:
-                stack.extend(node.all_deps())
-        return needed
-
-    def _initial_refcounts(self, order: List[Node]) -> Dict[int, int]:
-        counts: Dict[int, int] = {node.id: 0 for node in order}
-        in_graph = set(counts)
-        for node in order:
-            if node.computed:
-                continue  # persisted/cached: its inputs are not re-read
-            for inp in node.inputs:
-                if inp.id in in_graph:
-                    counts[inp.id] += 1
-        return counts
+class Executor(SerialScheduler):
+    """The pre-scheduler entry point: serial, refcount-releasing."""

@@ -1,0 +1,112 @@
+"""Pluggable execution strategies (the scheduler subsystem).
+
+Mirrors the engine layer: a :class:`SchedulerSpec` describes one
+strategy (its factory plus the capability facts the session branches
+on), an :class:`ExecutorRegistry` maps names to specs, and sessions pick
+a strategy through the ``executor.strategy`` option -- the Dask split
+between a collection protocol and swappable ``get`` functions, applied
+to the LaFP task graph.  Future async or process-pool executors plug in
+as new specs; no globals involved beyond the default registry.
+
+Strategies shipped:
+
+- ``serial``   -- the paper's single loop (section 2.6), extracted,
+- ``threaded`` -- ready-queue parallel execution with memory-aware
+  admission (needs an engine with ``supports_parallel_apply``),
+- ``fused``    -- linear-chain fusion to cut scheduling overhead on
+  deep-chain workloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Dict, Iterable, List
+
+from repro.graph.scheduler.base import Scheduler
+from repro.graph.scheduler.fused import FusedScheduler, fuse_linear_chains
+from repro.graph.scheduler.serial import SerialScheduler
+from repro.graph.scheduler.stats import ExecutionStats, NodeStat
+from repro.graph.scheduler.threaded import ThreadedScheduler
+
+
+@dataclasses.dataclass(frozen=True)
+class SchedulerSpec:
+    """Static description of one execution strategy."""
+
+    name: str
+    factory: Callable[..., Scheduler]
+    #: runs backend.apply concurrently; the session falls back to the
+    #: serial strategy on engines without ``supports_parallel_apply``.
+    requires_parallel_apply: bool = False
+    description: str = ""
+
+    def create(self, backend, **kwargs) -> Scheduler:
+        return self.factory(backend, **kwargs)
+
+
+class ExecutorRegistry:
+    """Name -> :class:`SchedulerSpec` lookup; sessions create instances."""
+
+    def __init__(self, specs: Iterable[SchedulerSpec] = ()):
+        self._specs: Dict[str, SchedulerSpec] = {}
+        for spec in specs:
+            self.register(spec)
+
+    def register(self, spec: SchedulerSpec,
+                 replace: bool = False) -> SchedulerSpec:
+        key = spec.name.lower()
+        if key in self._specs and not replace:
+            raise ValueError(f"strategy {spec.name!r} already registered")
+        self._specs[key] = spec
+        return spec
+
+    def spec(self, name: str) -> SchedulerSpec:
+        key = str(name).lower()
+        if key not in self._specs:
+            raise ValueError(
+                f"unknown executor strategy {name!r}; "
+                f"choose from {self.names()}"
+            )
+        return self._specs[key]
+
+    def create(self, name: str, backend, **kwargs) -> Scheduler:
+        """A fresh scheduler instance for one execution."""
+        return self.spec(name).create(backend, **kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._specs)
+
+    def __contains__(self, name: str) -> bool:
+        return str(name).lower() in self._specs
+
+
+#: The stock registry with the three shipped strategies.
+DEFAULT_EXECUTORS = ExecutorRegistry([
+    SchedulerSpec(
+        "serial", SerialScheduler,
+        description="one node at a time in topological order",
+    ),
+    SchedulerSpec(
+        "threaded", ThreadedScheduler,
+        requires_parallel_apply=True,
+        description="ready-queue worker pool with memory-aware admission",
+    ),
+    SchedulerSpec(
+        "fused", FusedScheduler,
+        description="serial over fused linear single-consumer chains",
+    ),
+])
+
+
+__all__ = [
+    "DEFAULT_EXECUTORS",
+    "ExecutionStats",
+    "ExecutorRegistry",
+    "FusedScheduler",
+    "NodeStat",
+    "Scheduler",
+    "SchedulerSpec",
+    "SerialScheduler",
+    "ThreadedScheduler",
+    "fuse_linear_chains",
+]

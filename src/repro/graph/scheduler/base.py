@@ -1,0 +1,153 @@
+"""Scheduler base class: planning, node execution, eager release.
+
+A scheduler runs a task subgraph against a backend.  The base class owns
+everything strategy-independent -- culling to the needed subgraph,
+refcount initialization, per-node execution with stats capture, the
+section-2.6 eager release rule, and root materialization -- so a
+strategy only implements :meth:`Scheduler._run`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.node import Node
+from repro.graph.scheduler.stats import ExecutionStats
+from repro.graph.taskgraph import (
+    initial_refcounts,
+    needed_nodes,
+    topological_order,
+)
+
+
+class Scheduler:
+    """Runs task subgraphs against a backend (one strategy per class).
+
+    ``session`` (optional) is the owning :class:`repro.core.session.Session`;
+    parallel strategies activate it on their worker threads so buffers
+    allocated mid-node register with the right per-session memory
+    manager.  ``memory`` defaults to the current session's manager.
+    """
+
+    name = "abstract"
+
+    def __init__(self, backend, *, session=None,
+                 memory=None, max_workers: Optional[int] = None):
+        self.backend = backend
+        self.session = session
+        self._memory = memory
+        self.max_workers = max(1, int(max_workers or 1))
+        #: the strategy the caller asked for, when a capability fallback
+        #: substituted this scheduler (stats report both).
+        self.requested_strategy: Optional[str] = None
+        self.last_stats: Optional[ExecutionStats] = None
+
+    # -- memory ----------------------------------------------------------
+
+    @property
+    def memory(self):
+        if self._memory is not None:
+            return self._memory
+        from repro.memory import current_memory_manager
+
+        return current_memory_manager()
+
+    # -- public API ------------------------------------------------------
+
+    def execute(self, roots: Sequence[Node]) -> List[object]:
+        """Compute ``roots``; returns their materialized results.
+
+        Statistics of the run land in :attr:`last_stats`.
+        """
+        stats = ExecutionStats(
+            strategy=self.requested_strategy or self.name,
+            effective_strategy=self.name,
+            max_workers=self.max_workers,
+        )
+        self.last_stats = stats
+        order = topological_order(roots)
+        needed = needed_nodes(roots)
+        order = [n for n in order if n.id in needed]
+        refcounts = initial_refcounts(order)
+        root_ids = {r.id for r in roots}
+
+        started = time.perf_counter()
+        try:
+            self._run(order, refcounts, root_ids, stats)
+            results = []
+            for root in roots:
+                value = self.backend.materialize(root.result)
+                root.result = value
+                results.append(value)
+        finally:
+            # finalized even when a node raises (OOM cells included):
+            # the session publishes these stats either way.
+            stats.wall_seconds = time.perf_counter() - started
+            stats.manager_peak_bytes = self.memory.peak
+        return results
+
+    # -- strategy hook ---------------------------------------------------
+
+    def _run(self, order: List[Node], refcounts: Dict[int, int],
+             root_ids: set, stats: ExecutionStats) -> None:
+        raise NotImplementedError
+
+    # -- shared plumbing -------------------------------------------------
+
+    def _execute_node(self, node: Node, stats: ExecutionStats,
+                      queue_wait: float = 0.0) -> None:
+        """Run one node and record its stats.
+
+        Byte attribution diffs the manager's monotonic counters around
+        the backend call; exact when nodes run one at a time, an
+        approximation when the threaded strategy overlaps nodes.
+        """
+        memory = self.memory
+        reg_before = memory.total_registered
+        rel_before = memory.total_released
+        started = time.perf_counter()
+        inputs = [inp.result for inp in node.inputs]
+        value = self.backend.apply(node, inputs)
+        if node.persist:
+            # Section 3.5: persist shared subexpressions.  On lazy
+            # backends this materializes (and pins) the partitions.
+            value = self.backend.persist(value)
+        node.set_result(value)
+        stats.record_node(
+            node,
+            wall_seconds=time.perf_counter() - started,
+            queue_wait_seconds=queue_wait,
+            bytes_registered=memory.total_registered - reg_before,
+            bytes_released=memory.total_released - rel_before,
+            worker=threading.current_thread().name,
+        )
+
+    @staticmethod
+    def _release_inputs(node: Node, refcounts: Dict[int, int],
+                        root_ids: set, clear=None) -> None:
+        """Release inputs whose consumers have all run (section 2.6).
+
+        Callers must serialize invocations (the threaded scheduler holds
+        its coordination lock); the counts themselves are plain ints.
+        ``clear`` overrides how a dead input's result is dropped (the
+        threaded strategy wraps it in the input's per-node lock) --
+        there is exactly one copy of the release *rule*.
+        """
+        for inp in node.inputs:
+            if inp.id not in refcounts:
+                continue
+            refcounts[inp.id] -= 1
+            if (
+                refcounts[inp.id] == 0
+                and inp.id not in root_ids
+                and not inp.persist
+            ):
+                if clear is None:
+                    inp.clear_result()
+                else:
+                    clear(inp)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<{type(self).__name__} backend={self.backend!r}>"

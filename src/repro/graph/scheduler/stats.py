@@ -1,0 +1,154 @@
+"""Per-execution runtime statistics.
+
+Every scheduler strategy fills one :class:`ExecutionStats` per
+``collect()``: per-node wall time, queue wait (time between a node
+becoming ready and starting to run), and bytes registered/released with
+the session's memory manager while the node ran.  The object is surfaced
+through ``LazyFrame.explain(stats=True)`` and the workload runner's
+result JSON.
+
+Byte attribution is exact under the serial and fused strategies; under
+the threaded strategy concurrently-running nodes share the manager's
+counters, so per-node bytes are an approximation (totals stay exact).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import threading
+from typing import Dict, List, Optional
+
+
+@dataclasses.dataclass
+class NodeStat:
+    """Runtime record of one executed task-graph node."""
+
+    node_id: int
+    op: str
+    label: Optional[str]
+    wall_seconds: float
+    queue_wait_seconds: float
+    bytes_registered: int
+    bytes_released: int
+    worker: str
+
+    def to_dict(self) -> Dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+class ExecutionStats:
+    """Aggregated runtime statistics of one scheduler execution."""
+
+    def __init__(self, strategy: str, effective_strategy: Optional[str] = None,
+                 max_workers: int = 1):
+        #: the strategy the session asked for (``executor.strategy``).
+        self.strategy = strategy
+        #: the strategy that actually ran (capability fallbacks may
+        #: downgrade ``threaded`` to ``serial`` on lazy engines).
+        self.effective_strategy = effective_strategy or strategy
+        self.max_workers = max_workers
+        self.wall_seconds = 0.0
+        self.nodes_executed = 0
+        self.cache_hits = 0
+        self.fused_chains = 0
+        self.fused_nodes = 0
+        self.throttle_waits = 0
+        self.bytes_registered = 0
+        self.bytes_released = 0
+        #: the session manager's high-water mark when the run finished.
+        #: The manager's peak is *not* reset per run (the workload runner
+        #: measures whole-program peaks on the same manager), so this can
+        #: predate the run; per-run allocation volume is
+        #: ``bytes_registered``.
+        self.manager_peak_bytes = 0
+        self.nodes: List[NodeStat] = []
+        self._lock = threading.Lock()
+
+    # -- recording (thread-safe) ----------------------------------------
+
+    def record_node(self, node, wall_seconds: float, queue_wait_seconds: float,
+                    bytes_registered: int, bytes_released: int,
+                    worker: str) -> None:
+        stat = NodeStat(
+            node_id=node.id,
+            op=node.op,
+            label=node.label,
+            wall_seconds=wall_seconds,
+            queue_wait_seconds=queue_wait_seconds,
+            bytes_registered=bytes_registered,
+            bytes_released=bytes_released,
+            worker=worker,
+        )
+        with self._lock:
+            self.nodes.append(stat)
+            self.nodes_executed += 1
+            self.bytes_registered += bytes_registered
+            self.bytes_released += bytes_released
+
+    def record_cache_hit(self) -> None:
+        with self._lock:
+            self.cache_hits += 1
+
+    def record_throttle_wait(self) -> None:
+        with self._lock:
+            self.throttle_waits += 1
+
+    def record_fused_chain(self, length: int) -> None:
+        with self._lock:
+            self.fused_chains += 1
+            self.fused_nodes += length
+
+    # -- export ----------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-ready dict (the workload runner embeds this verbatim)."""
+        return {
+            "strategy": self.strategy,
+            "effective_strategy": self.effective_strategy,
+            "max_workers": self.max_workers,
+            "wall_seconds": self.wall_seconds,
+            "nodes_executed": self.nodes_executed,
+            "cache_hits": self.cache_hits,
+            "fused_chains": self.fused_chains,
+            "fused_nodes": self.fused_nodes,
+            "throttle_waits": self.throttle_waits,
+            "bytes_registered": self.bytes_registered,
+            "bytes_released": self.bytes_released,
+            "manager_peak_bytes": self.manager_peak_bytes,
+            "nodes": [stat.to_dict() for stat in self.nodes],
+        }
+
+    def render(self) -> str:
+        """Terminal rendering for ``explain(stats=True)``."""
+        head = (
+            f"strategy={self.strategy}"
+            + (f" (ran as {self.effective_strategy})"
+               if self.effective_strategy != self.strategy else "")
+            + f" workers={self.max_workers}"
+            f" nodes={self.nodes_executed} cache_hits={self.cache_hits}"
+            f" wall={self.wall_seconds:.4f}s"
+            f" manager_peak={self.manager_peak_bytes}B"
+        )
+        lines = [head]
+        if self.fused_chains:
+            lines.append(
+                f"fused {self.fused_nodes} nodes into {self.fused_chains} chains"
+            )
+        if self.throttle_waits:
+            lines.append(f"memory throttle waits: {self.throttle_waits}")
+        for stat in self.nodes:
+            label = f" {stat.label}" if stat.label else ""
+            lines.append(
+                f"  node {stat.node_id} {stat.op}{label}: "
+                f"{stat.wall_seconds * 1e3:.2f}ms "
+                f"(+{stat.queue_wait_seconds * 1e3:.2f}ms queued) "
+                f"reg={stat.bytes_registered}B rel={stat.bytes_released}B "
+                f"[{stat.worker}]"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ExecutionStats {self.effective_strategy} "
+            f"nodes={self.nodes_executed} wall={self.wall_seconds:.4f}s>"
+        )

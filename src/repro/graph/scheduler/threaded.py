@@ -1,0 +1,171 @@
+"""The threaded strategy: partition-aware ready-queue execution.
+
+Independent task-graph nodes run concurrently on a worker pool sized by
+``executor.max_workers``.  The coordinator keeps a ready queue fed by
+scheduling in-degrees over *all* edges (data and ordering, so lazy-print
+chains stay in program order), releases inputs under one coordination
+lock as their last consumer finishes (the section-2.6 eager release made
+thread-safe), and guards each node's result slot with a per-node lock.
+
+Memory-aware admission: when the session's manager has a budget and no
+headroom left, the coordinator stops admitting new nodes until a running
+one completes (completions release inputs, freeing tracked bytes) --
+throttling instead of OOM-ing.  At least one node is always in flight,
+so progress is guaranteed.
+
+Worker threads activate the owning session so ``current_session()`` --
+and therefore the per-session memory manager every
+:class:`~repro.memory.manager.TrackedBuffer` resolves -- is correct
+inside backend calls.
+
+Requires an engine whose :class:`~repro.backends.engine.EngineSpec`
+declares ``supports_parallel_apply``; sessions fall back to the serial
+strategy otherwise (lazy simulators build expression graphs where
+per-node parallelism buys nothing and shared stores are not
+thread-safe).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Dict, List
+
+from repro.graph.node import Node
+from repro.graph.scheduler.base import Scheduler
+from repro.graph.scheduler.stats import ExecutionStats
+from repro.graph.taskgraph import (
+    consumers_by_id,
+    dependency_counts,
+    ready_nodes,
+)
+
+
+class ThreadedScheduler(Scheduler):
+    """Ready-queue scheduler over a thread pool."""
+
+    name = "threaded"
+
+    def __init__(self, backend, *, session=None, memory=None,
+                 max_workers=None):
+        super().__init__(backend, session=session, memory=memory,
+                         max_workers=max_workers or 4)
+
+    def _run(self, order: List[Node], refcounts: Dict[int, int],
+             root_ids: set, stats: ExecutionStats) -> None:
+        from concurrent.futures import ThreadPoolExecutor
+
+        dep_counts = dependency_counts(order)
+        consumers = consumers_by_id(order)
+        node_locks = {node.id: threading.Lock() for node in order}
+        cond = threading.Condition()
+        ready: deque = deque()
+        ready_since: Dict[int, float] = {}
+        total = len(order)
+        state = {"done": 0, "in_flight": 0}
+        errors: List[BaseException] = []
+
+        now = time.perf_counter()
+        for node in ready_nodes(order, dep_counts):
+            ready.append(node)
+            ready_since[node.id] = now
+
+        def clear_locked(inp: Node) -> None:
+            with node_locks[inp.id]:
+                inp.clear_result()
+
+        def finish(node: Node, release: bool) -> None:
+            # Caller holds ``cond``: propagate completion to consumers and
+            # run the eager-release rule under the coordination lock.
+            state["done"] += 1
+            done_at = time.perf_counter()
+            for consumer in consumers.get(node.id, ()):
+                dep_counts[consumer.id] -= 1
+                if dep_counts[consumer.id] == 0:
+                    ready.append(consumer)
+                    ready_since[consumer.id] = done_at
+            if release:
+                self._release_inputs(node, refcounts, root_ids,
+                                     clear=clear_locked)
+
+        def worker(node: Node, enqueued_at: float) -> None:
+            queue_wait = max(0.0, time.perf_counter() - enqueued_at)
+            error = None
+            try:
+                with node_locks[node.id]:
+                    self._execute_node(node, stats, queue_wait=queue_wait)
+            except BaseException as exc:  # noqa: BLE001 - reported to caller
+                error = exc
+            with cond:
+                state["in_flight"] -= 1
+                if error is not None:
+                    errors.append(error)
+                    state["done"] += 1  # consumers stay blocked; loop exits
+                else:
+                    finish(node, release=True)
+                cond.notify_all()
+
+        with ThreadPoolExecutor(
+            max_workers=self.max_workers,
+            thread_name_prefix="lafp-worker",
+            initializer=self._bind_session,
+        ) as pool:
+            with cond:
+                stalled = False
+                while state["done"] < total and not errors:
+                    while ready and state["in_flight"] < self.max_workers:
+                        if self._throttled(state["in_flight"]):
+                            # one throttle event per stall, however many
+                            # timeout wakeups re-observe it.
+                            if not stalled:
+                                stats.record_throttle_wait()
+                                stalled = True
+                            break
+                        stalled = False
+                        node = ready.popleft()
+                        if node.computed:
+                            # cached (persisted) result; inputs not re-read
+                            stats.record_cache_hit()
+                            finish(node, release=False)
+                            continue
+                        state["in_flight"] += 1
+                        pool.submit(
+                            worker, node,
+                            ready_since.get(node.id, time.perf_counter()),
+                        )
+                    if state["done"] >= total or errors:
+                        break
+                    # Nothing more can be admitted right now (queue empty,
+                    # pool full, or memory-throttled): wait for a
+                    # completion.  The timeout is a liveness backstop.
+                    cond.wait(timeout=0.5)
+                while state["in_flight"]:
+                    cond.wait()
+        if errors:
+            raise errors[0]
+
+    # -- admission control ------------------------------------------------
+
+    def _throttled(self, in_flight: int) -> bool:
+        """True when admission should pause for memory headroom.
+
+        Never throttles the only candidate -- with nothing in flight the
+        node must run (and possibly OOM) or the graph would deadlock.
+        """
+        if in_flight == 0:
+            return False
+        headroom = self.memory.headroom()
+        return headroom is not None and headroom <= 0
+
+    # -- worker-thread session binding ------------------------------------
+
+    def _bind_session(self) -> None:
+        """Push the owning session onto this worker's thread-local stack.
+
+        Workers live exactly as long as the pool (one pool per
+        ``execute``), so the stack entry dies with the thread -- no
+        explicit deactivation needed.
+        """
+        if self.session is not None:
+            self.session.activate()

@@ -56,6 +56,83 @@ def topological_order(roots: Sequence[Node]) -> List[Node]:
     return order
 
 
+def needed_nodes(roots: Sequence[Node]) -> Set[int]:
+    """Node ids a computation of ``roots`` must execute or read.
+
+    Culling: traversal stops at nodes with cached (persisted) results --
+    their inputs need not recompute (section 3.5 reuse).
+    """
+    needed: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.id in needed:
+            continue
+        needed.add(node.id)
+        if not node.computed:
+            stack.extend(node.all_deps())
+    return needed
+
+
+def initial_refcounts(order: Sequence[Node]) -> Dict[int, int]:
+    """Data-edge consumer counts used for eager release (section 2.6).
+
+    A node's count is how many in-graph consumers will read its result;
+    when it reaches zero the result can be cleared.  Inputs of cached
+    (persisted) nodes are not counted -- they are never re-read.
+    """
+    counts: Dict[int, int] = {node.id: 0 for node in order}
+    in_graph = set(counts)
+    for node in order:
+        if node.computed:
+            continue
+        for inp in node.inputs:
+            if inp.id in in_graph:
+                counts[inp.id] += 1
+    return counts
+
+
+def dependency_counts(order: Sequence[Node]) -> Dict[int, int]:
+    """Scheduling in-degrees: distinct unfinished in-graph dependencies.
+
+    Counts *all* edges (data and ordering) since both gate when a node
+    may run; cached nodes contribute an in-degree of zero (they complete
+    instantly).  A node whose count is zero is *ready*.
+    """
+    in_graph = {node.id for node in order}
+    counts: Dict[int, int] = {}
+    for node in order:
+        if node.computed:
+            counts[node.id] = 0
+            continue
+        deps = {dep.id for dep in node.all_deps() if dep.id in in_graph}
+        counts[node.id] = len(deps)
+    return counts
+
+
+def ready_nodes(order: Sequence[Node],
+                dep_counts: Dict[int, int]) -> List[Node]:
+    """The initial ready set, in deterministic (topological) order."""
+    return [node for node in order if dep_counts[node.id] == 0]
+
+
+def consumers_by_id(order: Sequence[Node]) -> Dict[int, List[Node]]:
+    """Map node id -> distinct in-graph consumers over data *and*
+    ordering edges (the reverse adjacency the ready-queue scheduler
+    walks when a task finishes)."""
+    in_graph = {node.id for node in order}
+    out: Dict[int, List[Node]] = {}
+    for node in order:
+        if node.computed:
+            continue
+        seen: Set[int] = set()
+        for dep in node.all_deps():
+            if dep.id in in_graph and dep.id not in seen:
+                seen.add(dep.id)
+                out.setdefault(dep.id, []).append(node)
+    return out
+
+
 def consumer_counts(nodes: Iterable[Node]) -> Dict[int, int]:
     """Number of consumers (data edges only) of each node within the set."""
     counts: Dict[int, int] = {}

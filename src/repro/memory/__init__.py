@@ -12,6 +12,7 @@ from repro.memory.manager import (
     MemoryManager,
     SimulatedMemoryError,
     TrackedBuffer,
+    current_memory_manager,
     memory_budget,
     memory_manager,
 )
@@ -20,6 +21,7 @@ __all__ = [
     "MemoryManager",
     "SimulatedMemoryError",
     "TrackedBuffer",
+    "current_memory_manager",
     "memory_budget",
     "memory_manager",
 ]

@@ -1,16 +1,28 @@
-"""Process-wide simulated memory accounting.
+"""Simulated memory accounting, sharded per session.
 
 Every column buffer created by :mod:`repro.frame` registers its size with
-the global :class:`MemoryManager`.  Buffers deregister when garbage
-collected (CPython refcounting makes this effectively deterministic), or
-explicitly when a backend spills them to disk.
+a :class:`MemoryManager`.  Buffers deregister when garbage collected
+(CPython refcounting makes this effectively deterministic), or explicitly
+when a backend spills them to disk.
 
-The manager keeps three numbers:
+Each :class:`~repro.core.session.Session` owns its own manager, so two
+concurrent sessions account (and budget) their allocations independently
+-- a multi-tenant executor cannot OOM a neighbour.  The module-level
+:data:`memory_manager` is the *root session's* manager, kept so
+paper-verbatim scripts and older harness code that poke the process-wide
+budget directly keep working; new code should resolve the current
+manager through :func:`current_memory_manager`.
+
+The manager keeps these numbers:
 
 - ``live``  -- bytes currently registered,
 - ``peak``  -- maximum of ``live`` since the last :meth:`MemoryManager.reset_peak`,
 - ``budget`` -- optional ceiling; registration beyond it raises
-  :class:`SimulatedMemoryError`.
+  :class:`SimulatedMemoryError`,
+- ``total_registered`` / ``total_released`` -- monotonic lifetime sums
+  (the scheduler diffs them for per-node byte attribution),
+- ``double_release_count`` -- how many times a release drove ``live``
+  below zero (a caller bug; clamped, counted, and warned about).
 
 A ``budget`` of ``None`` (the default) disables the ceiling, so ordinary
 library use is unaffected; the benchmark runner installs a budget scaled to
@@ -20,6 +32,7 @@ the paper's RAM:data ratio.
 from __future__ import annotations
 
 import threading
+import warnings
 import weakref
 from contextlib import contextmanager
 from typing import Iterator, Optional
@@ -46,22 +59,33 @@ class MemoryManager:
     """Tracks live and peak bytes of registered buffers.
 
     Thread-safe: the Dask and Modin simulators execute partitions from
-    worker threads.
+    worker threads, and the threaded scheduler registers node results
+    concurrently.
     """
 
     def __init__(self, budget: Optional[int] = None):
         self._lock = threading.Lock()
         self._live = 0
         self._peak = 0
+        self._total_registered = 0
+        self._total_released = 0
+        #: bumped by reset(): releases of buffers registered before a
+        #: reset are stale (their bytes were already zeroed) and must
+        #: not be mistaken for double-releases.
+        self._epoch = 0
         self.budget = budget
         self.oom_count = 0
+        self.double_release_count = 0
 
     # -- accounting ------------------------------------------------------
 
-    def register(self, nbytes: int) -> None:
+    def register(self, nbytes: int) -> int:
         """Account for ``nbytes`` of new buffer memory.
 
-        Raises :class:`SimulatedMemoryError` if a budget is set and the
+        Returns the registration epoch (pass it back to
+        :meth:`_release_epoch` so releases straddling a :meth:`reset`
+        are dropped, not double-counted).  Raises
+        :class:`SimulatedMemoryError` if a budget is set and the
         allocation would push ``live`` past it.
         """
         if nbytes < 0:
@@ -71,17 +95,43 @@ class MemoryManager:
                 self.oom_count += 1
                 raise SimulatedMemoryError(nbytes, self._live, self.budget)
             self._live += nbytes
+            self._total_registered += nbytes
             if self._live > self._peak:
                 self._peak = self._live
+            return self._epoch
 
     def release(self, nbytes: int) -> None:
         """Return ``nbytes`` to the pool (buffer freed or spilled)."""
+        self._release_epoch(nbytes, self._epoch)
+
+    def _release_epoch(self, nbytes: int, epoch: int) -> None:
+        """Release bound to the registration epoch.
+
+        Buffer finalizers capture the epoch at registration; a
+        :meth:`reset` in between (benchmark cell teardown) already
+        zeroed their bytes, so their late releases are dropped instead
+        of being miscounted as double-releases.
+        """
+        underflow = False
         with self._lock:
+            if epoch != self._epoch:
+                return
             self._live -= nbytes
+            self._total_released += nbytes
             if self._live < 0:
                 # Double-release is a bug in the caller; clamp so the
-                # accounting stays sane but keep it visible for tests.
+                # accounting stays sane but keep it visible: count it
+                # and warn, so the bug cannot hide behind the clamp.
                 self._live = 0
+                self.double_release_count += 1
+                underflow = True
+        if underflow:
+            warnings.warn(
+                f"memory double-release: {nbytes} B released beyond the "
+                f"registered total (occurrence #{self.double_release_count})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
 
     # -- observation -----------------------------------------------------
 
@@ -95,6 +145,16 @@ class MemoryManager:
         """High-water mark since construction or :meth:`reset_peak`."""
         return self._peak
 
+    @property
+    def total_registered(self) -> int:
+        """Lifetime sum of registered bytes (monotonic)."""
+        return self._total_registered
+
+    @property
+    def total_released(self) -> int:
+        """Lifetime sum of released bytes (monotonic)."""
+        return self._total_released
+
     def headroom(self) -> Optional[int]:
         """Bytes left under the budget, or ``None`` when unbudgeted."""
         if self.budget is None:
@@ -107,31 +167,62 @@ class MemoryManager:
             self._peak = self._live
 
     def reset(self) -> None:
-        """Clear all counters (used between benchmark runs)."""
+        """Clear all counters (used between benchmark runs).
+
+        Buffers registered before the reset may still be alive; their
+        eventual releases are recognised by epoch and ignored.
+        """
         with self._lock:
             self._live = 0
             self._peak = 0
+            self._total_registered = 0
+            self._total_released = 0
+            self._epoch += 1
             self.oom_count = 0
+            self.double_release_count = 0
 
 
-#: The single process-wide manager used by every tracked buffer.
+#: The root session's manager.  Deprecation shim: code that mutated the
+#: process-wide budget directly still works because the root session
+#: adopts this exact instance; per-session work should go through
+#: :func:`current_memory_manager`.
 memory_manager = MemoryManager()
 
 
+def current_memory_manager() -> MemoryManager:
+    """The memory manager of the calling thread's current session.
+
+    Falls back to the process-root manager when the session layer is not
+    importable yet (early interpreter shutdown, partial installs).
+    """
+    try:
+        from repro.core.session import current_session
+    except ImportError:  # pragma: no cover - import-order edge
+        return memory_manager
+    return current_session().memory
+
+
 class TrackedBuffer:
-    """Registers ``nbytes`` with the global manager for its lifetime.
+    """Registers ``nbytes`` with a manager for its lifetime.
 
     :class:`repro.frame.column.Column` owns one of these per backing array.
+    The manager is resolved from the calling thread's current session
+    unless given explicitly, so buffers created inside ``with
+    Session(...)`` blocks count against that session's budget.
     Deregistration happens via ``weakref.finalize`` so callers never need a
     ``close()`` discipline; explicit :meth:`release` supports spilling.
     """
 
     __slots__ = ("nbytes", "_finalizer", "__weakref__")
 
-    def __init__(self, nbytes: int, manager: MemoryManager = memory_manager):
-        manager.register(nbytes)
+    def __init__(self, nbytes: int, manager: Optional[MemoryManager] = None):
+        if manager is None:
+            manager = current_memory_manager()
+        epoch = manager.register(nbytes)
         self.nbytes = nbytes
-        self._finalizer = weakref.finalize(self, manager.release, nbytes)
+        self._finalizer = weakref.finalize(
+            self, manager._release_epoch, nbytes, epoch
+        )
 
     def release(self) -> None:
         """Deregister now (idempotent); used when spilling to disk."""
@@ -141,15 +232,39 @@ class TrackedBuffer:
 
 @contextmanager
 def memory_budget(budget: Optional[int]) -> Iterator[MemoryManager]:
-    """Temporarily install ``budget`` on the global manager.
+    """Temporarily install ``budget`` on the *current session's* manager.
 
-    Peak tracking is reset on entry so the recorded peak reflects only the
-    governed region.  The previous budget is restored on exit.
+    At root (no active ``with Session``) this governs the process-wide
+    manager exactly as before.  Peak tracking is reset on entry so the
+    recorded peak reflects only the governed region.  The previous budget
+    is restored on exit.
+
+    Implemented through the session's ``memory.budget`` option so it
+    composes with option-driven budgets: a session whose budget came
+    from options gets this override for exactly the context's scope
+    (a direct ``manager.budget`` write would be clobbered by the
+    option's write-through on the next allocation).
     """
-    previous = memory_manager.budget
-    memory_manager.budget = budget
-    memory_manager.reset_peak()
     try:
-        yield memory_manager
+        from repro.core.session import current_session
+    except ImportError:  # pragma: no cover - import-order edge
+        session = None
+    else:
+        session = current_session()
+    if session is None:
+        manager = memory_manager
+        previous = manager.budget
+        manager.budget = budget
+        manager.reset_peak()
+        try:
+            yield manager
+        finally:
+            manager.budget = previous
+        return
+    try:
+        with session.option_context("memory.budget", budget):
+            manager = session.memory  # write the override through
+            manager.reset_peak()
+            yield manager
     finally:
-        memory_manager.budget = previous
+        session.memory  # eagerly restore the pre-context budget

@@ -13,6 +13,7 @@ Mirrors what the pytest benchmarks do, for interactive exploration.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.workloads.programs import PROGRAMS
@@ -29,12 +30,16 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     runner = Runner(base_rows=args.rows, enforce_budget=not args.no_budget)
-    result = runner.run(args.program, args.mode, args.size)
+    result = runner.run(args.program, args.mode, args.size,
+                        strategy=args.strategy)
     status = "ok" if result.ok else f"FAILED ({result.error})"
     print(f"{result.label}: {status}")
-    print(f"  time: {result.seconds:.3f}s  peak: {result.peak_bytes / 1e6:.2f} MB")
+    print(f"  time: {result.seconds:.3f}s  peak: {result.peak_bytes / 1e6:.2f} MB"
+          f"  strategy: {result.strategy}")
     if result.result_hash:
         print(f"  result md5: {result.result_hash}")
+    if args.stats:
+        print(json.dumps(result.to_dict(), indent=2, default=str))
     if args.show_output:
         print("--- program output ---")
         print(result.stdout, end="")
@@ -90,6 +95,15 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--rows", type=int, default=3000)
     run.add_argument("--no-budget", action="store_true")
     run.add_argument("--show-output", action="store_true")
+    run.add_argument(
+        "--strategy", choices=["serial", "threaded", "fused"], default=None,
+        help="executor.strategy for the cell (default: session default)",
+    )
+    run.add_argument(
+        "--stats", action="store_true",
+        help="emit the full result record (incl. per-node scheduler "
+             "stats) as JSON",
+    )
     run.set_defaults(func=_cmd_run)
 
     grid = sub.add_parser("grid", help="Figure 12 style applicability grid")

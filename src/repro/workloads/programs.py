@@ -10,8 +10,10 @@ instantiates them with an engine header:
 - ``lafp_*``: the unmodified body under ``lazyfatpandas`` with
   ``pd.analyze()``, one per backend.
 
-Each body reads ``$LAFP_DATA_DIR`` CSVs and ends with
-``save_result(<final frame>, "<name>")`` for md5 regression checking.
+Each body reads CSVs from the session-resolved data directory
+(``workload.data_dir`` option, ``$LAFP_DATA_DIR`` as interactive
+fallback) and ends with ``save_result(<final frame>, "<name>")`` for md5
+regression checking.
 The docstring of each template names the optimizations the paper's
 evaluation attributes to that program.
 """
@@ -22,10 +24,11 @@ import dataclasses
 from typing import Dict, List, Optional
 
 _PRELUDE = """\
-import os
 from repro.workloads.resultio import save_result
-DATA = os.environ.get("LAFP_DATA_DIR", "/tmp/lafp_data")
-OUT = os.environ.get("LAFP_RESULT_DIR", "/tmp/lafp_results")
+from repro.workloads.paths import data_dir as _lafp_data_dir
+from repro.workloads.paths import result_dir as _lafp_result_dir
+DATA = _lafp_data_dir()
+OUT = _lafp_result_dir()
 """
 
 

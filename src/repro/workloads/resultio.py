@@ -23,9 +23,11 @@ from repro.frame import DataFrame, Series
 
 
 def result_dir() -> str:
-    path = os.environ.get("LAFP_RESULT_DIR", "/tmp/lafp_results")
-    os.makedirs(path, exist_ok=True)
-    return path
+    """The current session's result directory (option-resolved; the
+    ``LAFP_RESULT_DIR`` env var is the interactive fallback)."""
+    from repro.workloads.paths import result_dir as _resolve
+
+    return _resolve()
 
 
 def save_result(obj, name: str) -> str:

@@ -10,11 +10,19 @@ Reproduces the paper's experimental grid (section 5):
 - a simulated RAM budget of ``(32 / 12.6) x`` the program's L-size data
   (the paper machine's RAM:data ratio), so out-of-memory happens for the
   same structural reasons,
-- wall-clock seconds, simulated peak bytes, success/OOM, and the md5 of
-  the saved result for regression checking.
+- wall-clock seconds, simulated peak bytes, success/OOM, per-node
+  executor statistics, and the md5 of the saved result for regression
+  checking.
 
 Programs run in-process via ``runpy`` (so ``pd.analyze()``'s reflection
-finds real source files) with stdout captured.
+finds real source files) with stdout captured.  Every cell runs in its
+own :class:`Session` carrying its dataset/result directories
+(``workload.*`` options), its memory budget (``memory.budget``), and its
+scheduler strategy (``executor.strategy``); stdout capture routes by the
+writing thread's session.  Cells therefore no longer race on paths,
+budgets, or output -- the remaining process-global state is the
+dask/plot *compat-module* state, so concurrent cells should stick to
+modes and programs that do not share it (e.g. ``lafp_pandas``).
 """
 
 from __future__ import annotations
@@ -25,12 +33,13 @@ import io
 import os
 import runpy
 import shutil
+import sys
 import tempfile
+import threading
 import time
 from typing import Dict, Iterable, List, Optional
 
 from repro.core.session import Session
-from repro.memory import memory_manager
 from repro.metastore import MetaStore
 from repro.workloads import datagen
 from repro.workloads.programs import PROGRAMS
@@ -72,6 +81,86 @@ _BACKEND_OF_MODE = {
 }
 
 
+class _SessionStdoutRouter(io.TextIOBase):
+    """Routes ``print`` output to the buffer of the *writing session*.
+
+    ``contextlib.redirect_stdout`` swaps the process-global ``sys.stdout``,
+    so two grid cells capturing concurrently would restore each other's
+    buffers out of order and cross-attribute output.  The router is
+    installed once (refcounted) and dispatches each write by the calling
+    thread's current session -- which is also correct for the threaded
+    scheduler, whose worker threads activate the cell's session.
+    """
+
+    def __init__(self, fallback):
+        self.fallback = fallback
+        self._lock = threading.Lock()
+        self._buffers: Dict[int, io.StringIO] = {}
+
+    def register(self, session, buffer: io.StringIO) -> None:
+        with self._lock:
+            self._buffers[id(session)] = buffer
+
+    def unregister(self, session) -> None:
+        with self._lock:
+            self._buffers.pop(id(session), None)
+
+    def _target(self):
+        from repro.core.session import current_session
+
+        with self._lock:
+            return self._buffers.get(id(current_session()), self.fallback)
+
+    def write(self, text: str) -> int:
+        return self._target().write(text)
+
+    def flush(self) -> None:
+        self._target().flush()
+
+    def writable(self) -> bool:
+        return True
+
+
+_router_lock = threading.Lock()
+_router: Optional[_SessionStdoutRouter] = None
+_router_uses = 0
+
+
+@contextlib.contextmanager
+def _capture_session_stdout(session, buffer: io.StringIO):
+    """Capture everything ``session`` prints into ``buffer``.
+
+    Installs the router on first use and restores the original stdout
+    after the last concurrent capture ends (unless something else --
+    e.g. a test harness -- replaced ``sys.stdout`` in between; then it
+    is left alone)."""
+    global _router, _router_uses
+    with _router_lock:
+        if _router is None:
+            _router = _SessionStdoutRouter(sys.stdout)
+        elif sys.stdout is not _router:
+            # something external (a test harness) replaced stdout while
+            # captures were active: keep the ONE router -- earlier cells
+            # stay attached to their buffers -- and adopt the new stream
+            # as the fallback for non-session output.
+            _router.fallback = sys.stdout
+        sys.stdout = _router
+        router = _router
+        _router_uses += 1
+        router.register(session, buffer)
+    try:
+        yield buffer
+    finally:
+        with _router_lock:
+            router.unregister(session)
+            _router_uses -= 1
+            if _router_uses == 0:
+                if sys.stdout is router:
+                    sys.stdout = router.fallback
+                if _router is router:
+                    _router = None
+
+
 @dataclasses.dataclass
 class RunResult:
     """Outcome of one (program, mode, size) execution."""
@@ -85,10 +174,21 @@ class RunResult:
     error: Optional[str] = None
     result_hash: Optional[str] = None
     stdout: str = ""
+    #: the ``executor.strategy`` the cell ran under.
+    strategy: Optional[str] = None
+    #: scheduler stats of the cell's last execution (lafp modes only):
+    #: per-node wall time, queue wait, bytes, fusion/throttle counters.
+    execution_stats: Optional[dict] = None
 
     @property
     def label(self) -> str:
         return f"{self.program}/{self.mode}/{self.size}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready record (stdout elided; it can be large)."""
+        out = dataclasses.asdict(self)
+        out.pop("stdout")
+        return out
 
 
 class Runner:
@@ -107,6 +207,9 @@ class Runner:
         self.enforce_budget = enforce_budget
         self.metastore = MetaStore(os.path.join(self.workdir, "metastore"))
         self._generated: Dict[str, set] = {}
+        #: serializes dataset generation so concurrent cells hitting an
+        #: unprepared size never interleave writes to the same CSV.
+        self._prepare_lock = threading.Lock()
 
     # -- data preparation ---------------------------------------------------
 
@@ -114,18 +217,23 @@ class Runner:
         return os.path.join(self.workdir, f"data_{size}")
 
     def prepare(self, sizes: Iterable[str] = ("S",), programs=None) -> None:
-        """Generate datasets (and metadata) for the requested sizes."""
+        """Generate datasets (and metadata) for the requested sizes.
+
+        Thread-safe: concurrent cells requesting the same size serialize
+        here, so a dataset is generated exactly once and never read
+        half-written."""
         names = set()
         for program in programs or PROGRAMS:
             names.update(PROGRAMS[program].datasets)
-        for size in sizes:
-            done = self._generated.setdefault(size, set())
-            rows = self.base_rows * SCALES[size]
-            for name in sorted(names - done):
-                path = datagen.generate(name, self.data_dir(size), rows)
-                # Metadata computation is the paper's background task.
-                self.metastore.compute_and_store(path, sample_rows=2_000)
-                done.add(name)
+        with self._prepare_lock:
+            for size in sizes:
+                done = self._generated.setdefault(size, set())
+                rows = self.base_rows * SCALES[size]
+                for name in sorted(names - done):
+                    path = datagen.generate(name, self.data_dir(size), rows)
+                    # Metadata computation is the paper's background task.
+                    self.metastore.compute_and_store(path, sample_rows=2_000)
+                    done.add(name)
 
     def dataset_bytes(self, program: str, size: str) -> int:
         total = 0
@@ -159,6 +267,7 @@ class Runner:
         size: str = "S",
         flag_overrides: Optional[Dict[str, bool]] = None,
         options: Optional[Dict[str, object]] = None,
+        strategy: Optional[str] = None,
     ) -> RunResult:
         """Execute one cell of the evaluation grid.
 
@@ -167,10 +276,13 @@ class Runner:
         ``options`` applied through ``option_context`` -- no session or
         flag state leaks between cells.  ``options`` takes dotted keys
         (``{"executor.cache": False}``); ``flag_overrides`` accepts the
-        legacy flag names and is kept for older harnesses.  Dataset and
-        result paths still flow through process env vars
-        (``LAFP_DATA_DIR``/``LAFP_RESULT_DIR``), so fully parallel grids
-        should run cells in separate processes.
+        legacy flag names and is kept for older harnesses; ``strategy``
+        is shorthand for ``{"executor.strategy": ...}``.  Dataset and
+        result paths, the memory budget, and the stdout capture travel
+        on the cell's session (``workload.*`` / ``memory.budget``
+        options, session-routed capture) rather than process env vars,
+        the global manager, or a global redirect, so cells cannot race
+        each other on any of them.
         """
         if mode not in _HEADERS:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
@@ -188,23 +300,26 @@ class Runner:
 
         overrides: Dict[str, object] = dict(flag_overrides or {})
         overrides.update(options or {})
+        if strategy is not None:
+            overrides["executor.strategy"] = strategy
+        overrides.setdefault("workload.data_dir", self.data_dir(size))
+        overrides.setdefault("workload.result_dir", result_dir)
+        overrides.setdefault("memory.budget", self.budget_for(program))
         session = self._make_session(mode)
         self._reset_compat_state()
-        env_before = self._set_env(size, result_dir)
-        budget = self.budget_for(program)
-        memory_manager.reset()
-        memory_manager.budget = budget
 
         captured = io.StringIO()
         ok, error = True, None
+        requested_strategy = None
         start = time.perf_counter()
         try:
-            # redirect outermost: the session drains pending lazy prints
+            # capture outermost: the session drains pending lazy prints
             # on exit, and that output must land in the capture.  The
             # option_context encloses the session for the same reason --
             # the exit-time flush must still see the cell's overrides.
-            with contextlib.redirect_stdout(captured), \
+            with _capture_session_stdout(session, captured), \
                     session.option_context(overrides), session:
+                requested_strategy = str(session.get_option("executor.strategy"))
                 runpy.run_path(program_path, run_name="__main__")
         except SystemExit:
             pass  # pd.analyze() replaced execution; normal completion
@@ -213,10 +328,9 @@ class Runner:
         except Exception as exc:  # noqa: BLE001 - report, don't crash the grid
             ok, error = False, f"{type(exc).__name__}: {exc}"
         seconds = time.perf_counter() - start
-        peak = memory_manager.peak
-        memory_manager.budget = None
+        peak = session.memory.peak
+        exec_stats = session.last_execution_stats
         self._cleanup_engines(session)
-        self._restore_env(env_before)
 
         digest = None
         result_csv = os.path.join(result_dir, f"{program}.csv")
@@ -232,6 +346,11 @@ class Runner:
             error=error,
             result_hash=digest,
             stdout=captured.getvalue(),
+            # report what actually ran: capability fallbacks can downgrade
+            # the requested strategy (threaded on a lazy engine -> serial).
+            strategy=(exec_stats.effective_strategy if exec_stats
+                      else requested_strategy),
+            execution_stats=exec_stats.to_dict() if exec_stats else None,
         )
 
     def run_grid(
@@ -239,12 +358,14 @@ class Runner:
         programs: Optional[List[str]] = None,
         modes: Optional[List[str]] = None,
         sizes: Iterable[str] = ("S",),
+        strategy: Optional[str] = None,
     ) -> List[RunResult]:
         out = []
         for size in sizes:
             for program in programs or sorted(PROGRAMS):
                 for mode in modes or MODES:
-                    out.append(self.run(program, mode, size))
+                    out.append(self.run(program, mode, size,
+                                        strategy=strategy))
         return out
 
     # -- plumbing -----------------------------------------------------------------
@@ -271,23 +392,6 @@ class Runner:
             if store is not None:
                 store.clear()
         dask_compat.reset()
-
-    def _set_env(self, size: str, result_dir: str) -> Dict[str, Optional[str]]:
-        before = {
-            "LAFP_DATA_DIR": os.environ.get("LAFP_DATA_DIR"),
-            "LAFP_RESULT_DIR": os.environ.get("LAFP_RESULT_DIR"),
-        }
-        os.environ["LAFP_DATA_DIR"] = self.data_dir(size)
-        os.environ["LAFP_RESULT_DIR"] = result_dir
-        return before
-
-    @staticmethod
-    def _restore_env(before: Dict[str, Optional[str]]) -> None:
-        for key, value in before.items():
-            if value is None:
-                os.environ.pop(key, None)
-            else:
-                os.environ[key] = value
 
     def cleanup(self) -> None:
         shutil.rmtree(self.workdir, ignore_errors=True)

@@ -49,3 +49,76 @@ def test_every_program_saves_a_result(runner):
 def test_stdout_captured_not_leaked(runner, capsys):
     runner.run("cty", "lafp_dask", "S")
     assert capsys.readouterr().out == ""
+
+
+class TestSchedulerStrategies:
+    """All three executor strategies reproduce the same paper results."""
+
+    @pytest.mark.parametrize("program", ["nyt", "stu", "mov"])
+    def test_strategies_hash_identical_on_paper_workloads(
+        self, runner, program
+    ):
+        hashes = {}
+        for strategy in ("serial", "threaded", "fused"):
+            result = runner.run(program, "lafp_pandas", "S",
+                                strategy=strategy)
+            assert result.ok, f"{strategy}: {result.error}"
+            assert result.strategy == strategy
+            hashes[strategy] = result.result_hash
+        assert hashes["threaded"] == hashes["serial"]
+        assert hashes["fused"] == hashes["serial"]
+
+    def test_run_result_carries_scheduler_stats(self, runner):
+        result = runner.run("nyt", "lafp_pandas", "S", strategy="threaded")
+        assert result.ok, result.error
+        stats = result.execution_stats
+        assert stats is not None
+        assert stats["effective_strategy"] == "threaded"
+        assert stats["nodes_executed"] > 0
+        assert stats["nodes"][0]["op"]
+        # the whole record serializes (the runner's result JSON)
+        import json
+
+        json.dumps(result.to_dict())
+
+    def test_baseline_modes_report_no_graph_stats(self, runner):
+        result = runner.run("nyt", "pandas", "S")
+        assert result.ok
+        assert result.execution_stats is None
+
+    def test_result_strategy_reports_what_actually_ran(self, runner):
+        """A lazy engine downgrades threaded to serial; the RunResult
+        must say so instead of echoing the request."""
+        result = runner.run("nyt", "lafp_dask", "S", strategy="threaded")
+        assert result.ok, result.error
+        assert result.strategy == "serial"
+        assert result.execution_stats["strategy"] == "threaded"
+
+    def test_concurrent_cells_do_not_race_on_paths(self, runner):
+        """The env-var and redirect seams are gone: two cells running
+        concurrently in one process keep their own dataset/result
+        directories and their own captured stdout, and the process
+        stdout comes back afterwards."""
+        import sys
+        import threading
+
+        stdout_before = sys.stdout
+        results = {}
+
+        def cell(program):
+            results[program] = runner.run(program, "lafp_pandas", "S")
+
+        threads = [threading.Thread(target=cell, args=(p,))
+                   for p in ("nyt", "stu")]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert sys.stdout is stdout_before
+        assert results["nyt"].ok, results["nyt"].error
+        assert results["stu"].ok, results["stu"].error
+        assert results["nyt"].result_hash != results["stu"].result_hash
+        # nyt prints its grouped result; the output landed in *its*
+        # capture, not the other cell's
+        assert results["nyt"].stdout.strip()
+        assert results["nyt"].stdout != results["stu"].stdout

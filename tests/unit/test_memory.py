@@ -87,8 +87,46 @@ class TestMemoryManager:
     def test_over_release_clamps_to_zero(self):
         manager = MemoryManager()
         manager.register(10)
-        manager.release(50)
+        with pytest.warns(RuntimeWarning, match="double-release"):
+            manager.release(50)
         assert manager.live == 0
+
+    def test_double_release_counted_and_warned(self):
+        """The clamp must not hide the caller bug: each underflow bumps
+        the counter and warns (the satellite fix for silent clamping)."""
+        manager = MemoryManager()
+        manager.register(10)
+        manager.release(10)
+        assert manager.double_release_count == 0
+        with pytest.warns(RuntimeWarning, match="double-release"):
+            manager.release(10)
+        assert manager.double_release_count == 1
+        with pytest.warns(RuntimeWarning, match="occurrence #2"):
+            manager.release(5)
+        assert manager.double_release_count == 2
+        assert manager.live == 0
+
+    def test_release_after_reset_is_not_a_double_release(self):
+        """Finalizers of buffers that straddle a reset() are stale, not
+        buggy: their releases are dropped by epoch, never warned."""
+        import warnings as _warnings
+
+        manager = MemoryManager()
+        buffer = TrackedBuffer(256, manager)
+        manager.reset()
+        with _warnings.catch_warnings():
+            _warnings.simplefilter("error")
+            buffer.release()
+        assert manager.live == 0
+        assert manager.double_release_count == 0
+
+    def test_lifetime_totals_are_monotonic(self):
+        manager = MemoryManager()
+        manager.register(100)
+        manager.release(40)
+        manager.register(10)
+        assert manager.total_registered == 110
+        assert manager.total_released == 40
 
     def test_reset_clears_everything(self):
         manager = MemoryManager()
@@ -96,6 +134,7 @@ class TestMemoryManager:
         manager.reset()
         assert manager.live == 0
         assert manager.peak == 0
+        assert manager.total_registered == 0
 
     def test_thread_safety_of_register_release(self):
         manager = MemoryManager()
@@ -147,3 +186,28 @@ class TestMemoryBudgetContext:
             with memory_budget(1 << 20):
                 raise RuntimeError("boom")
         assert memory_manager.budget is None
+
+    def test_budget_context_overrides_option_driven_budget(self):
+        """memory_budget() must win over a session's memory.budget
+        option for its scope -- the option's write-through used to
+        clobber a directly-assigned budget on the next allocation."""
+        from repro.core.session import Session
+
+        with Session(backend="pandas",
+                     options={"memory.budget": 1_000_000}) as session:
+            with memory_budget(100) as manager:
+                assert manager is session.memory
+                with pytest.raises(SimulatedMemoryError):
+                    TrackedBuffer(500)
+            assert session.memory.budget == 1_000_000
+            buffer = TrackedBuffer(500)  # option budget is back; fits
+            buffer.release()
+
+    def test_budget_context_binds_to_current_session(self):
+        from repro.core.session import Session
+
+        with Session(backend="pandas") as session:
+            with memory_budget(64) as manager:
+                assert manager is session.memory
+                assert memory_manager.budget is None
+            assert session.memory.budget is None

@@ -1,0 +1,500 @@
+"""Unit tests for the pluggable scheduler subsystem.
+
+Covers the executor registry, the ready-set taskgraph helpers on
+diamond / multi-root / shared-subexpression shapes, strategy
+equivalence (serial == threaded == fused), linear-chain fusion,
+per-node execution statistics, memory-aware admission, and per-session
+memory-budget isolation under concurrency.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.backends import PandasBackend
+from repro.core.session import Session
+from repro.graph import (
+    DEFAULT_EXECUTORS,
+    Executor,
+    ExecutorRegistry,
+    Node,
+    SchedulerSpec,
+    consumers_by_id,
+    dependency_counts,
+    ready_nodes,
+    topological_order,
+)
+from repro.graph.scheduler import (
+    FusedScheduler,
+    SerialScheduler,
+    ThreadedScheduler,
+    fuse_linear_chains,
+)
+from repro.memory import MemoryManager, SimulatedMemoryError, memory_manager
+
+STRATEGIES = ["serial", "threaded", "fused"]
+
+
+def _diamond():
+    src = Node("from_data", args={"data": {"x": [1, 2, 3]}})
+    left = Node("identity", inputs=[src])
+    right = Node("identity", inputs=[src])
+    join = Node("concat", inputs=[left, right])
+    return src, left, right, join
+
+
+def _frames_equal(a, b) -> bool:
+    from repro.frame import DataFrame, Series
+
+    if isinstance(a, Series) and isinstance(b, Series):
+        return np.array_equal(a.column.to_array(), b.column.to_array())
+    if isinstance(a, DataFrame) and isinstance(b, DataFrame):
+        if list(a.columns) != list(b.columns):
+            return False
+        return all(
+            np.array_equal(a.column(c).to_array(), b.column(c).to_array())
+            for c in a.columns
+        )
+    return a == b
+
+
+@pytest.fixture
+def numbers_csv(make_csv):
+    n = 120
+    return make_csv(
+        {
+            "x": np.arange(n) - 17,
+            "y": np.arange(n) % 5,
+            "w": np.round(np.linspace(0.0, 9.5, n), 2),
+            "tag": np.array([f"t{i % 3}" for i in range(n)], dtype=object),
+        },
+        "numbers.csv",
+    )
+
+
+class TestExecutorRegistry:
+    def test_stock_strategies_registered(self):
+        assert DEFAULT_EXECUTORS.names() == ["fused", "serial", "threaded"]
+        assert "threaded" in DEFAULT_EXECUTORS
+
+    def test_unknown_strategy_lists_choices(self):
+        with pytest.raises(ValueError, match="fused.*serial.*threaded"):
+            DEFAULT_EXECUTORS.spec("quantum")
+
+    def test_duplicate_registration_rejected(self):
+        registry = ExecutorRegistry([SchedulerSpec("serial", SerialScheduler)])
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register(SchedulerSpec("serial", SerialScheduler))
+        registry.register(
+            SchedulerSpec("serial", FusedScheduler), replace=True
+        )
+        assert registry.spec("serial").factory is FusedScheduler
+
+    def test_session_custom_registry_is_pluggable(self):
+        """A new strategy plugs in as a spec -- the scale-out seam."""
+        class TracingScheduler(SerialScheduler):
+            name = "tracing"
+
+        registry = ExecutorRegistry([
+            DEFAULT_EXECUTORS.spec("serial"),
+            SchedulerSpec("tracing", TracingScheduler),
+        ])
+        session = Session(backend="pandas", executors=registry,
+                          options={"executor.strategy": "tracing"})
+        assert isinstance(session.scheduler(), TracingScheduler)
+
+    def test_create_builds_fresh_instances(self):
+        backend = PandasBackend()
+        a = DEFAULT_EXECUTORS.create("serial", backend)
+        b = DEFAULT_EXECUTORS.create("serial", backend)
+        assert a is not b
+
+    def test_unknown_strategy_errors_at_collect(self):
+        with Session(backend="pandas",
+                     options={"executor.strategy": "warp"}):
+            frame = lfp.DataFrame({"x": [1, 2]})
+            with pytest.raises(ValueError, match="unknown executor strategy"):
+                frame.collect()
+
+
+class TestReadySetHelpers:
+    def test_diamond_dependency_counts(self):
+        src, left, right, join = _diamond()
+        order = topological_order([join])
+        counts = dependency_counts(order)
+        assert counts[src.id] == 0
+        assert counts[left.id] == 1
+        assert counts[right.id] == 1
+        assert counts[join.id] == 2
+        assert ready_nodes(order, counts) == [src]
+
+    def test_multi_root_ready_set(self):
+        src_a = Node("from_data", args={"data": {"x": [1]}})
+        src_b = Node("from_data", args={"data": {"x": [2]}})
+        col_a = Node("getitem_column", inputs=[src_a], args={"column": "x"})
+        col_b = Node("getitem_column", inputs=[src_b], args={"column": "x"})
+        order = topological_order([col_a, col_b])
+        counts = dependency_counts(order)
+        assert set(n.id for n in ready_nodes(order, counts)) == {
+            src_a.id, src_b.id
+        }
+        # multi-root topological order still places deps first
+        positions = {n.id: i for i, n in enumerate(order)}
+        assert positions[src_a.id] < positions[col_a.id]
+        assert positions[src_b.id] < positions[col_b.id]
+
+    def test_shared_subexpression_counts(self):
+        src = Node("from_data", args={"data": {"x": [1, 2]}})
+        shared = Node("getitem_column", inputs=[src], args={"column": "x"})
+        s1 = Node("series_agg", inputs=[shared], args={"func": "sum"})
+        s2 = Node("series_agg", inputs=[shared], args={"func": "max"})
+        order = topological_order([s1, s2])
+        counts = dependency_counts(order)
+        consumers = consumers_by_id(order)
+        assert counts[shared.id] == 1
+        assert {c.id for c in consumers[shared.id]} == {s1.id, s2.id}
+        assert len(order) == 4  # shared node appears exactly once
+
+    def test_cached_nodes_are_immediately_ready(self):
+        from repro.frame import DataFrame
+
+        src, left, right, join = _diamond()
+        src.set_result(DataFrame({"x": [9]}))
+        src.persist = True
+        order = topological_order([join])
+        counts = dependency_counts(order)
+        assert counts[src.id] == 0
+
+    def test_order_deps_count_as_dependencies(self):
+        first = Node("print", args={"segments": []})
+        second = Node("print", args={"segments": []}, order_deps=[first])
+        order = topological_order([second])
+        counts = dependency_counts(order)
+        assert counts[second.id] == 1
+        assert ready_nodes(order, counts) == [first]
+
+    def test_binop_on_same_input_counts_one_dependency(self):
+        src = Node("from_data", args={"data": {"x": [1.0]}})
+        col = Node("getitem_column", inputs=[src], args={"column": "x"})
+        twice = Node("binop", inputs=[col, col], args={"op": "+"})
+        order = topological_order([twice])
+        counts = dependency_counts(order)
+        assert counts[twice.id] == 1  # distinct deps, not edge count
+
+
+class TestStrategyEquivalence:
+    """serial, threaded and fused must be observationally identical."""
+
+    def _pipeline(self, path):
+        df = lfp.read_csv(path)
+        df = df[df.x > 0]
+        df["z"] = df.x * 2 + df.y
+        shared = df[df.z > 10]
+        total = shared.z.sum()
+        by_tag = shared.groupby(["y"])["z"].sum()
+        return total, by_tag
+
+    def test_identical_results_across_strategies(self, numbers_csv):
+        results = {}
+        for strategy in STRATEGIES:
+            with Session(backend="pandas",
+                         options={"executor.strategy": strategy}) as s:
+                total, by_tag = self._pipeline(numbers_csv)
+                results[strategy] = (total.collect(), by_tag.collect())
+                assert s.last_execution_stats.effective_strategy == strategy
+        base_total, base_series = results["serial"]
+        for strategy in ("threaded", "fused"):
+            total, series = results[strategy]
+            assert total == base_total
+            assert _frames_equal(series, base_series)
+
+    def test_option_context_switches_strategy_per_collect(self, numbers_csv):
+        with Session(backend="pandas") as session:
+            df = lfp.read_csv(numbers_csv)
+            expected = df.x.sum().collect()
+            for strategy in ("threaded", "fused"):
+                with lfp.option_context("executor.strategy", strategy):
+                    assert df.x.sum().collect() == expected
+                assert (
+                    session.last_execution_stats.effective_strategy == strategy
+                )
+
+    def test_threaded_falls_back_to_serial_on_lazy_engine(self, numbers_csv):
+        with Session(backend="dask",
+                     options={"executor.strategy": "threaded"}) as s:
+            df = lfp.read_csv(numbers_csv)
+            df.x.sum().collect()
+            stats = s.last_execution_stats
+            assert stats.strategy == "threaded"
+            assert stats.effective_strategy == "serial"
+
+    def test_threaded_runs_parallel_on_eager_engine(self, numbers_csv):
+        with Session(backend="pandas",
+                     options={"executor.strategy": "threaded",
+                              "executor.max_workers": 3}) as s:
+            df = lfp.read_csv(numbers_csv)
+            df.x.sum().collect()
+            stats = s.last_execution_stats
+            assert stats.effective_strategy == "threaded"
+            assert all(
+                stat.worker.startswith("lafp-worker") for stat in stats.nodes
+            )
+
+    def test_lazy_prints_stay_in_program_order(self, capsys, numbers_csv):
+        with Session(backend="pandas",
+                     options={"executor.strategy": "threaded",
+                              "executor.max_workers": 4}):
+            df = lfp.read_csv(numbers_csv)
+            print("first:", int(df.x.max()))
+            print("second:", int(df.y.max()))
+            print("third:", int(df.x.min()))
+        out = capsys.readouterr().out.strip().splitlines()
+        assert [line.split(":")[0] for line in out] == [
+            "first", "second", "third"
+        ]
+
+    def test_threaded_propagates_node_errors(self):
+        with Session(backend="pandas",
+                     options={"executor.strategy": "threaded"}):
+            df = lfp.DataFrame({"x": [1, 2, 3]})
+            bad = df.x.map(lambda v: 1 / 0)
+            with pytest.raises(ZeroDivisionError):
+                bad.collect()
+
+
+class TestFusion:
+    def _chain_nodes(self, depth):
+        src = Node("from_data", args={"data": {"x": list(range(8))}})
+        node = src
+        for _ in range(depth):
+            node = Node("identity", inputs=[node])
+        agg = Node("frame_len", inputs=[node])
+        return src, agg
+
+    def test_linear_chain_fuses_into_one_task(self):
+        src, agg = self._chain_nodes(6)
+        order = topological_order([agg])
+        tasks = fuse_linear_chains(order, {agg.id})
+        assert len(tasks) == 1
+        assert [n.id for n in tasks[0]] == [n.id for n in order]
+
+    def test_diamond_branches_do_not_fuse_across_fan_points(self):
+        src, left, right, join = _diamond()
+        order = topological_order([join])
+        tasks = fuse_linear_chains(order, {join.id})
+        # src has two consumers, the join has two deps: nothing fuses.
+        assert sorted(len(t) for t in tasks) == [1, 1, 1, 1]
+
+    def test_fused_strategy_records_chains(self, make_csv):
+        path = make_csv({"x": np.arange(50)}, "chain.csv")
+        with Session(backend="pandas",
+                     options={"executor.strategy": "fused"}) as s:
+            df = lfp.read_csv(path)
+            df = df[df.x > 1]
+            df = df[df.x > 2]
+            df = df[df.x > 3]
+            df.x.sum().collect()
+            stats = s.last_execution_stats
+            assert stats.fused_chains >= 1
+            assert stats.fused_nodes >= 2
+
+    def test_fusion_never_skips_persisted_results(self, make_csv):
+        path = make_csv({"x": np.arange(30)}, "persist.csv")
+        with Session(backend="pandas",
+                     options={"executor.strategy": "fused"}):
+            df = lfp.read_csv(path)
+            hot = df[df.x > 5]
+            hot.persist()
+            assert hot.x.sum().collect() == hot.x.sum().collect()
+
+
+class TestExecutionStats:
+    def test_per_node_stats_recorded(self, numbers_csv):
+        with Session(backend="pandas") as s:
+            df = lfp.read_csv(numbers_csv)
+            df.x.sum().collect()
+            stats = s.last_execution_stats
+        assert stats.nodes_executed == len(stats.nodes) > 0
+        ops = [stat.op for stat in stats.nodes]
+        assert "read_csv" in ops
+        for stat in stats.nodes:
+            assert stat.wall_seconds >= 0.0
+            assert stat.queue_wait_seconds >= 0.0
+        assert stats.wall_seconds > 0.0
+
+    def test_bytes_attributed_to_read(self, numbers_csv):
+        with Session(backend="pandas") as s:
+            df = lfp.read_csv(numbers_csv)
+            df.x.sum().collect()
+            stats = s.last_execution_stats
+        read = next(st for st in stats.nodes if st.op == "read_csv")
+        assert read.bytes_registered > 0
+
+    def test_session_node_counter_accumulates(self, numbers_csv):
+        with Session(backend="pandas") as s:
+            df = lfp.read_csv(numbers_csv)
+            df.x.sum().collect()
+            first = s.stats["nodes_executed"]
+            df.y.sum().collect()
+            assert s.stats["nodes_executed"] > first
+
+    def test_explain_stats_section(self, numbers_csv):
+        with Session(backend="pandas",
+                     options={"executor.strategy": "serial"}):
+            df = lfp.read_csv(numbers_csv)
+            text = df.explain(stats=True)
+            assert "no execution recorded yet" in text
+            df.x.sum().collect()
+            text = df.explain(stats=True)
+        assert "== last execution stats ==" in text
+        assert "strategy=serial" in text
+        assert "read_csv" in text
+
+    def test_stats_to_dict_is_json_ready(self, numbers_csv):
+        import json
+
+        with Session(backend="pandas",
+                     options={"executor.strategy": "serial"}) as s:
+            lfp.read_csv(numbers_csv).x.sum().collect()
+            payload = s.last_execution_stats.to_dict()
+        text = json.dumps(payload)
+        assert '"strategy": "serial"' in text
+        assert payload["nodes"][0]["op"]
+
+    def test_cache_hits_counted(self, numbers_csv):
+        with Session(backend="pandas") as s:
+            df = lfp.read_csv(numbers_csv)
+            hot = df[df.x > 0]
+            hot.persist()
+            hot.x.sum().collect(live=[hot])
+            assert s.last_execution_stats.cache_hits >= 1
+
+
+class TestMemoryAwareAdmission:
+    def test_throttle_requires_exhausted_headroom(self):
+        manager = MemoryManager(budget=100)
+        scheduler = ThreadedScheduler(PandasBackend(), memory=manager)
+        assert not scheduler._throttled(1)
+        manager.register(100)
+        assert scheduler._throttled(1)
+
+    def test_never_throttles_an_empty_pool(self):
+        manager = MemoryManager(budget=10)
+        manager.register(10)
+        scheduler = ThreadedScheduler(PandasBackend(), memory=manager)
+        assert not scheduler._throttled(0)
+
+    def test_unbudgeted_manager_never_throttles(self):
+        scheduler = ThreadedScheduler(PandasBackend(), memory=MemoryManager())
+        assert not scheduler._throttled(3)
+
+    def test_threaded_completes_under_tight_budget(self, make_csv):
+        path = make_csv({"x": np.arange(400), "y": np.arange(400) % 3},
+                        "tight.csv")
+        with Session(backend="pandas",
+                     options={"executor.strategy": "threaded",
+                              "executor.max_workers": 4}) as s:
+            with s.option_context("memory.budget", 1 << 20):
+                df = lfp.read_csv(path)
+                a = df.x.sum()
+                b = df.y.sum()
+                c = (df.x * 2).sum()
+                assert a.collect() + b.collect() + c.collect() > 0
+
+
+class TestPerSessionBudgets:
+    def test_concurrent_sessions_budget_independently(self):
+        """Acceptance: one session's allocations never count against the
+        other's, and each budget binds only its own session."""
+        from repro.memory import TrackedBuffer
+
+        results = {}
+        gate_a = threading.Event()
+        gate_b = threading.Event()
+
+        def tenant_a():
+            with Session(backend="pandas",
+                         options={"memory.budget": 1000}) as session:
+                held = TrackedBuffer(900)
+                gate_a.set()
+                gate_b.wait(timeout=5)
+                results["a_live"] = session.memory.live
+                # headroom is computed against A's own 1000-byte budget,
+                # ignoring B's 400 live bytes.
+                results["a_headroom"] = session.memory.headroom()
+                held.release()
+
+        def tenant_b():
+            gate_a.wait(timeout=5)
+            with Session(backend="pandas",
+                         options={"memory.budget": 500}) as session:
+                held = TrackedBuffer(400)
+                results["b_live"] = session.memory.live
+                try:
+                    TrackedBuffer(200)
+                    results["b_oom"] = False
+                except SimulatedMemoryError:
+                    results["b_oom"] = True
+                held.release()
+                gate_b.set()
+
+        threads = [threading.Thread(target=tenant_a),
+                   threading.Thread(target=tenant_b)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert results == {
+            "a_live": 900,
+            "a_headroom": 100,
+            "b_live": 400,
+            "b_oom": True,
+        }
+
+    def test_root_session_adopts_process_manager(self):
+        from repro.core.session import root_session
+
+        assert root_session().memory is memory_manager
+
+    def test_session_buffers_do_not_touch_root_manager(self):
+        from repro.memory import TrackedBuffer
+
+        before = memory_manager.live
+        with Session(backend="pandas") as session:
+            buffer = TrackedBuffer(777)
+            assert session.memory.live == 777
+            assert memory_manager.live == before
+            buffer.release()
+
+    def test_budget_option_writes_through_option_context(self):
+        session = Session(backend="pandas")
+        assert session.memory.budget is None
+        with session.option_context("memory.budget", 2048):
+            assert session.memory.budget == 2048
+        # option_context budgets exactly its scope: the manager's prior
+        # budget comes back once the override is gone
+        assert session.memory.budget is None
+        session.set_option("memory.budget", 4096)
+        assert session.memory.budget == 4096
+
+    def test_option_context_restores_directly_assigned_budget(self):
+        session = Session(backend="pandas")
+        session._memory.budget = 1 << 30  # harness-style direct assignment
+        with session.option_context("memory.budget", 2048):
+            assert session.memory.budget == 2048
+        assert session.memory.budget == 1 << 30
+
+
+class TestExecutorShim:
+    def test_executor_is_the_serial_strategy(self):
+        assert issubclass(Executor, SerialScheduler)
+
+    def test_executor_records_stats(self):
+        data = Node("from_data", args={"data": {"x": [1, 2, 3]}})
+        col = Node("getitem_column", inputs=[data], args={"column": "x"})
+        agg = Node("series_agg", inputs=[col], args={"func": "sum"})
+        executor = Executor(PandasBackend())
+        assert executor.execute([agg]) == [6]
+        assert executor.last_stats.nodes_executed == 3
