@@ -1,0 +1,148 @@
+"""Scan-pushdown benchmark: selective filter over a partitioned dataset.
+
+The source-layer payoff in one number: a hive-partitioned dataset with
+``N_PARTITIONS`` shards and a predicate matching exactly one of them is
+collected twice --
+
+- *pushdown on* (the default): the filter folds into the scan node, the
+  pruning pass drops every shard whose hive key fails it, and the
+  backend reads 1/N of the bytes,
+- *ablated* (``optimizer.predicate_pushdown=False`` -- no fold means
+  nothing to prune against): every shard is read and the filter runs as
+  a graph node.
+
+Both must collect identical frames; the speedup is the read volume
+ratio minus fixed overheads.  Prints a paper-style table and emits JSON
+(``LAFP_BENCH_JSON`` names an output path; default prints to stdout)
+like ``bench_scheduler_strategies.py``.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.core.session import Session
+from repro.frame import DataFrame
+from repro.io import write_dataset
+
+ROWS = int(os.environ.get("LAFP_BENCH_ROWS", "3000"))
+N_PARTITIONS = 20
+REPEATS = 3
+#: below this S-size the fixed per-collect overhead drowns the read
+#: savings; the smoke leg runs tiny and only checks correctness.
+PERF_ASSERT_MIN_ROWS = 2000
+
+
+@pytest.fixture(scope="module")
+def hive_root():
+    """A 20-shard hive dataset with wide string padding per row (the
+    read cost pruning avoids)."""
+    rows = ROWS * N_PARTITIONS
+    rng = np.random.default_rng(23)
+    columns = {
+        "shard": np.repeat(np.arange(N_PARTITIONS), ROWS),
+        "value": np.round(rng.normal(50, 20, rows), 2),
+        "count": rng.integers(1, 100, rows),
+    }
+    for i in range(6):
+        columns[f"pad_{i}"] = np.array(
+            [f"p{i}-{j:08d}-{'x' * 24}" for j in range(rows)], dtype=object
+        )
+    root = os.path.join(tempfile.mkdtemp(prefix="lafp-scan-bench-"), "shards")
+    write_dataset(DataFrame(columns), root, partition_on="shard")
+    yield root
+    shutil.rmtree(os.path.dirname(root), ignore_errors=True)
+
+
+def _pipeline(root):
+    df = lfp.scan_dataset(root)
+    return df[df.shard == 7][["value", "count"]]
+
+
+def _measure(root, pushdown: bool):
+    seconds = []
+    frame = None
+    stats = None
+    for _ in range(REPEATS):
+        with Session(backend="pandas") as session:
+            with session.option_context(
+                "optimizer.predicate_pushdown", pushdown,
+                "optimizer.partition_pruning", pushdown,
+            ):
+                started = time.perf_counter()
+                frame = _pipeline(root).collect()
+                seconds.append(time.perf_counter() - started)
+                stats = session.last_execution_stats
+    return {
+        "pushdown": pushdown,
+        "best_seconds": min(seconds),
+        "mean_seconds": sum(seconds) / len(seconds),
+        "partitions_read": stats.partitions_read,
+        "partitions_total": stats.partitions_total,
+        "result_rows": len(frame),
+    }, frame
+
+
+@pytest.mark.bench
+def test_bench_scan_pushdown(hive_root):
+    pushed, pushed_frame = _measure(hive_root, pushdown=True)
+    ablated, ablated_frame = _measure(hive_root, pushdown=False)
+
+    # correctness first: pruning must be invisible in the data
+    assert list(pushed_frame.columns) == list(ablated_frame.columns)
+    for column in pushed_frame.columns:
+        assert np.array_equal(
+            pushed_frame.column(column).to_array(),
+            ablated_frame.column(column).to_array(),
+        )
+    assert pushed["result_rows"] == ROWS
+
+    # the pushed run provably read less
+    assert pushed["partitions_read"] == 1
+    assert pushed["partitions_total"] == N_PARTITIONS
+    assert ablated["partitions_read"] == N_PARTITIONS
+
+    speedup = ablated["best_seconds"] / pushed["best_seconds"]
+    report = {
+        "rows_per_partition": ROWS,
+        "n_partitions": N_PARTITIONS,
+        "repeats": REPEATS,
+        "speedup_best": speedup,
+        "results": [pushed, ablated],
+    }
+
+    print_table(
+        "Scan pushdown: selective filter over a 20-shard hive dataset (ms)",
+        ["pushdown", "best", "mean", "partitions"],
+        [
+            [
+                "on" if r["pushdown"] else "off",
+                f"{r['best_seconds'] * 1e3:.2f}",
+                f"{r['mean_seconds'] * 1e3:.2f}",
+                f"{r['partitions_read']}/{r['partitions_total']}",
+            ]
+            for r in (pushed, ablated)
+        ],
+    )
+    print(f"speedup (best/best): {speedup:.2f}x")
+
+    out_path = os.environ.get("LAFP_BENCH_JSON")
+    payload = json.dumps(report, indent=2)
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(payload + "\n")
+    else:
+        print(payload)
+
+    if ROWS >= PERF_ASSERT_MIN_ROWS:
+        # reading 1/20 of the bytes must buy at least the 2x the
+        # acceptance bar asks for (it is typically far more)
+        assert speedup >= 2.0, f"expected >=2x from pruning, got {speedup:.2f}x"

@@ -10,12 +10,17 @@ from repro.lazyfatpandas.pandas import (  # explicit for linters
     concat,
     current_session,
     flush,
+    from_pandas,
     get_option,
     merge,
     option_context,
     options,
     read_csv,
     reset,
+    scan_csv,
+    scan_dataset,
+    scan_jsonl,
+    scan_source,
     set_backend,
     set_option,
     to_datetime,

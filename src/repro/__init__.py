@@ -24,9 +24,25 @@ __version__ = "0.1.0"
 
 from repro.memory import MemoryManager, SimulatedMemoryError, memory_manager
 
+#: top-level source-layer constructors, resolved lazily (PEP 562) so
+#: ``import repro`` stays light and free of circular imports -- the scan
+#: API pulls in the whole core/graph/backends stack.
+_SCAN_API = (
+    "scan_csv", "scan_jsonl", "scan_dataset", "scan_source", "from_pandas",
+)
+
 __all__ = [
     "MemoryManager",
     "SimulatedMemoryError",
     "memory_manager",
     "__version__",
+    *_SCAN_API,
 ]
+
+
+def __getattr__(name: str):
+    if name in _SCAN_API:
+        import repro.io.api as _api
+
+        return getattr(_api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -41,6 +41,32 @@ class Backend:
     def read_csv(self, **kwargs):
         raise NotImplementedError
 
+    def scan(self, args: dict):
+        """Execute a generic ``scan`` node: resolve the source named by
+        ``args['format']`` through the source registry and materialize
+        the selected partitions (projection and folded predicate applied
+        inside the source).  Eager backends concatenate the per-partition
+        frames; partitioned backends override to keep the pieces apart.
+        """
+        from repro.frame.concat import concat_consuming
+        from repro.io import Predicate, resolve_source
+
+        source = resolve_source(args)
+        predicate = Predicate.from_arg(args.get("predicate"))
+        frames = list(source.scan(
+            columns=args.get("columns"),
+            predicate=predicate,
+            partitions=args.get("partitions"),
+        ))
+        if not frames:
+            return self.from_pandas(
+                source.empty_frame(args.get("columns"), predicate=predicate)
+            )
+        if len(frames) == 1:
+            return self.from_pandas(frames[0])
+        # partitions are temporaries: release each as the concat consumes it
+        return self.from_pandas(concat_consuming(frames))
+
     def from_data(self, data, **kwargs):
         raise NotImplementedError
 
@@ -119,8 +145,12 @@ def apply_generic(backend: Backend, node: Node, inputs: List[object]):
 
     if op == "read_csv":
         return backend.read_csv(**args)
+    if op == "scan":
+        return backend.scan(args)
     if op == "from_data":
         return backend.from_data(args["data"])
+    if op == "from_pandas":
+        return backend.from_pandas(args["frame"])
     if op == "identity":
         return inputs[0]
     if op == "getitem_column":

@@ -93,6 +93,37 @@ class DaskBackend(Backend):
             frame = frame.set_index(index_col)
         return frame
 
+    def scan(self, args: dict) -> DaskFrame:
+        """Generic source scan, kept lazy: one expression partition per
+        source partition, so depth-first evaluation streams pieces
+        through the elementwise pipeline exactly like ``read_csv``.
+        Partition sizing respects the same memory-aware target."""
+        from repro.backends.dask_sim.expr import scan_expr
+        from repro.io import Predicate, resolve_source
+
+        options = dict(args)
+        if args.get("partitions") is None:
+            # Memory-aware re-chunking is only safe on an UNPRUNED scan:
+            # pruned partition indices were computed by the optimizer
+            # against the source's own chunking, so re-chunking here
+            # would make them select the wrong byte ranges.
+            options.setdefault(
+                "partition_bytes", _auto_partition_bytes(self.partition_bytes)
+            )
+        source = resolve_source(options)
+        parts = source.select_partitions(args.get("partitions"))
+        columns = args.get("columns")
+        predicate = Predicate.from_arg(args.get("predicate"))
+        expr = scan_expr(source, parts, columns=columns, predicate=predicate)
+        try:
+            schema = source.schema()
+        except OSError:
+            schema = []
+        if columns is not None:
+            keep = set(columns)
+            schema = [c for c in schema if c in keep]
+        return DaskFrame(expr, self.evaluator, columns=schema)
+
     def from_data(self, data, **kwargs) -> DaskFrame:
         return self.from_pandas(DataFrame(data))
 

@@ -71,6 +71,8 @@ class Evaluator:
         kind = expr.kind
         if kind == "read_csv":
             return self._read_partition(expr, i)
+        if kind == "scan":
+            return self._scan_partition(expr, i)
         if kind == "materialized":
             return expr.params["handles"][i].get()
         if kind == "blockwise":
@@ -92,6 +94,19 @@ class Evaluator:
         if kind == "merge_shuffle":
             return self._eval_shuffle_bucket(expr, i)
         raise ValueError(f"unknown expression kind {kind!r}")
+
+    def _scan_partition(self, expr: Expr, i: int):
+        params = expr.params
+        parts = params["parts"]
+        if not parts:  # every partition pruned: typed empty piece
+            return params["source"].empty_frame(
+                params["columns"], predicate=params["predicate"]
+            )
+        return params["source"].read_partition(
+            parts[i],
+            columns=params["columns"],
+            predicate=params["predicate"],
+        )
 
     def _read_partition(self, expr: Expr, i: int):
         params = expr.params

@@ -54,6 +54,23 @@ class Expr:
         return f"<Expr {self.id} {self.kind} p={self.npartitions}>"
 
 
+def scan_expr(source, partitions, columns=None, predicate=None) -> Expr:
+    """Generic source scan: one expression partition per
+    :class:`~repro.io.source.Partition`, read through the source's
+    ``read_partition`` (projection and folded predicate applied there).
+    """
+    return Expr(
+        "scan",
+        params={
+            "source": source,
+            "parts": list(partitions),
+            "columns": columns,
+            "predicate": predicate,
+        },
+        npartitions=max(1, len(partitions)),
+    )
+
+
 def read_csv_expr(
     path: str,
     byte_ranges: Sequence[tuple],

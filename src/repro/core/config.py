@@ -21,6 +21,7 @@ key                                       default
 ``optimizer.common_subexpression``        True       CSE + shared-node merging
 ``optimizer.projection_pushdown``         True       required-column inference
 ``optimizer.metadata``                    True       metastore dtype hints (section 3.6)
+``optimizer.partition_pruning``           True       stats-driven scan partition pruning
 ``executor.cache``                        True       live_df persistence (section 3.5)
 ``executor.strategy``                     "serial"   scheduler strategy (serial /
                                                      threaded / fused); env default
@@ -29,6 +30,8 @@ key                                       default
 ``memory.budget``                         None       per-session simulated byte budget
 ``workload.data_dir``                     None       dataset dir for benchmark programs
 ``workload.result_dir``                   None       result dir for benchmark programs
+``workload.source_format``                None       physical source format axis
+                                                     (csv / jsonl / dataset)
 ========================================  =========  ==================================
 
 The pre-Session ``OptimizationFlags`` attribute names (``caching``,
@@ -170,6 +173,13 @@ register_option(
     doc="Metastore-driven dtype hints and category encoding (section 3.6).",
     validator=_validate_bool,
 )
+register_option(
+    "optimizer.partition_pruning", True,
+    doc="Drop scan partitions whose statistics (hive key values, exact "
+        "per-partition min/max from the metastore) prove the pushed "
+        "predicate can never match.",
+    validator=_validate_bool,
+)
 def _validate_positive_int(value: object) -> None:
     if isinstance(value, bool) or not isinstance(value, int) or value < 1:
         raise OptionError(f"expected a positive int, got {value!r}")
@@ -224,6 +234,25 @@ register_option(
     doc="Directory benchmark programs write results to (replaces the "
         "LAFP_RESULT_DIR env var so parallel grid cells cannot race).",
     validator=_validate_optional_str,
+)
+
+
+def _validate_source_format(value: object) -> None:
+    if value is None:
+        return
+    if value not in ("csv", "jsonl", "dataset"):
+        raise OptionError(
+            f"expected None, 'csv', 'jsonl' or 'dataset', got {value!r}"
+        )
+
+
+register_option(
+    "workload.source_format", None,
+    doc="Physical source format benchmark programs read (the runner's "
+        "--source-format axis): None/'csv' keeps the plain read_csv "
+        "path; 'jsonl'/'dataset' reroutes pd.read_csv through the "
+        "matching scan source when the sibling dataset variant exists.",
+    validator=_validate_source_format,
 )
 
 

@@ -11,7 +11,11 @@ from repro.core.optimizer.common_subexpr import (
     persist_shared_nodes,
 )
 from repro.core.optimizer.metadata_opt import apply_metadata_hints
-from repro.core.optimizer.predicate_pushdown import push_down_predicates
+from repro.core.optimizer.partition_pruning import prune_scan_partitions
+from repro.core.optimizer.predicate_pushdown import (
+    fold_predicates_into_scans,
+    push_down_predicates,
+)
 from repro.core.optimizer.projection import push_down_projections
 
 
@@ -28,15 +32,27 @@ def optimize(
     (used by tests and the ablation benchmarks).
     """
     opts = session.options
-    report = {"cse": 0, "pushdown": 0, "projection": 0, "metadata": 0, "persisted": 0}
+    report = {"cse": 0, "pushdown": 0, "scan_fold": 0, "projection": 0,
+              "metadata": 0, "pruned_partitions": 0, "persisted": 0}
     if opts.get("optimizer.common_subexpression"):
         report["cse"] = eliminate_common_subexpressions(roots)
     if opts.get("optimizer.predicate_pushdown"):
         report["pushdown"] = push_down_predicates(roots)
+        # The terminating step: filters sitting on capable scan sources
+        # fold into the scan's args (the source filters while reading).
+        report["scan_fold"] = fold_predicates_into_scans(roots)
     if opts.get("optimizer.projection_pushdown"):
         report["projection"] = push_down_projections(roots)
     if opts.get("optimizer.metadata"):
         report["metadata"] = apply_metadata_hints(roots, session.metastore)
+    # After folding: drop partitions whose statistics prove the pushed
+    # predicate can never match.  Runs even when pruning is ablated --
+    # it then only records totals, so explain()/stats still report
+    # read-vs-existing partition counts.
+    report["pruned_partitions"] = prune_scan_partitions(
+        roots, session.metastore,
+        prune=bool(opts.get("optimizer.partition_pruning")),
+    )
     cache = opts.get("executor.cache")
     if cache and live_nodes:
         report["persisted"] = len(

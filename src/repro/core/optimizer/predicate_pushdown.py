@@ -16,6 +16,15 @@ Two multi-parent extensions are also implemented:
 - all parents of ``u`` are filters with different predicates: their
   conjunction pushes below ``u`` while the originals stay.
 
+Pushdown used to stop at the source node; :func:`fold_predicates_into_scans`
+now takes the final step for generic ``scan`` sources whose format
+declares ``supports_predicate``: a filter sitting directly on a scan --
+typically the end state of the swaps above -- is converted to the
+serializable conjunct form (:mod:`repro.io.predicate`) and folded into
+the scan node's args, so the source filters rows while reading and the
+partition-pruning pass has something to prove against.  The conversion
+is all-or-nothing; inexpressible masks leave the filter in the graph.
+
 Pushing rebases the predicate expression: the mask was built against
 ``u``'s output, so its column reads are re-rooted onto ``u``'s input
 (condition 1 guarantees those columns are unchanged by ``u``).
@@ -40,6 +49,70 @@ def push_down_predicates(roots: Sequence[Node]) -> int:
             break
         swaps += moved
     return swaps
+
+
+def fold_predicates_into_scans(roots: Sequence[Node]) -> int:
+    """Fold filters over capable ``scan`` sources into the scan's args;
+    returns the number of filters absorbed."""
+    folded = 0
+    for _ in range(_MAX_PASSES):
+        if not _one_fold_pass(roots):
+            break
+        folded += 1
+    return folded
+
+
+def _one_fold_pass(roots: Sequence[Node]) -> int:
+    from repro.io.predicate import conjuncts_from_mask, merge_conjuncts
+    from repro.io.registry import source_capabilities
+
+    nodes = collect_subgraph(roots)
+    consumers = consumers_of(nodes)
+    root_ids = {r.id for r in roots}
+    for f in nodes:
+        if not f.spec.is_filter or len(f.inputs) < 2:
+            continue
+        # Chase identity aliases earlier rewrites (swaps, prior folds)
+        # left between the filter and the scan.
+        chain: List[Node] = []
+        u = f.inputs[0]
+        while u.op == "identity" and u.inputs:
+            chain.append(u)
+            u = u.inputs[0]
+        if u.op != "scan" or u.id in root_ids:
+            continue
+        if any(n.id in root_ids for n in chain):
+            continue
+        spec = source_capabilities(u.args.get("format"))
+        if spec is None or not spec.supports_predicate:
+            continue
+        # The scan's unfiltered output must reach nobody but this filter
+        # (its own mask reads move into the predicate with it), and the
+        # mask subgraph must be exclusively this filter's: CSE can share
+        # a mask's column read with an unrelated consumer (an unfiltered
+        # aggregate of the same column), which after folding would see
+        # pre-filtered rows.
+        mask_nodes = collect_subgraph([f.inputs[1]])
+        mask_ids = {n.id for n in mask_nodes}
+        chain_ids = {n.id for n in chain}
+        allowed = chain_ids | mask_ids | {f.id}
+        if any(n.id in root_ids for n in mask_nodes):
+            continue
+        if any(
+            consumer.id not in allowed
+            for hop in [u, *chain, *mask_nodes]
+            for consumer in consumers.get(hop.id, [])
+        ):
+            continue
+        conjuncts = conjuncts_from_mask(f.inputs[1], u, aliases=chain)
+        if conjuncts is None:
+            continue
+        u.args["predicate"] = merge_conjuncts(
+            u.args.get("predicate"), conjuncts
+        )
+        _alias(f, u)
+        return 1
+    return 0
 
 
 def _one_pass(roots: Sequence[Node]) -> int:

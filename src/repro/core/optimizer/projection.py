@@ -1,11 +1,12 @@
-"""Runtime projection pushdown: narrow ``read_csv`` to needed columns.
+"""Runtime projection pushdown: narrow sources to needed columns.
 
 Static analysis (section 3.1) already injects ``usecols`` where the whole
 program is analysable.  This runtime pass is the complement for graphs
 built purely dynamically: it propagates a *required-column* set backward
 from the roots to each source, with per-operator transfer functions, and
-sets ``usecols`` on sources whose requirement set is closed (no
-whole-frame escape).
+terminates by narrowing the source itself: ``usecols`` on ``read_csv``
+nodes, or the ``columns`` arg folded into a generic ``scan`` node when
+its registered source format declares ``supports_projection``.
 
 Conservative by construction: any operator whose column flow is unknown
 (merge outputs, UDF apply, prints of whole frames, describe, ...) marks
@@ -28,21 +29,34 @@ _PASSTHROUGH = {
 
 
 def push_down_projections(roots: Sequence[Node]) -> int:
-    """Set ``usecols`` on eligible sources; returns how many were narrowed."""
+    """Narrow eligible sources; returns how many were narrowed."""
     nodes = collect_subgraph(roots)
     required = _required_columns(roots, nodes)
     narrowed = 0
     for node in nodes:
-        if node.op != "read_csv" or node.args.get("usecols") is not None:
+        if node.op == "read_csv":
+            arg_name = "usecols"
+        elif node.op == "scan" and _scan_supports_projection(node):
+            arg_name = "columns"
+        else:
+            continue
+        if node.args.get(arg_name) is not None:
             continue
         needs = required.get(node.id)
         if needs is None or ALL_COLUMNS in needs:
             continue
         if not needs:
             continue  # degenerate; leave untouched
-        node.args["usecols"] = sorted(needs)
+        node.args[arg_name] = sorted(needs)
         narrowed += 1
     return narrowed
+
+
+def _scan_supports_projection(node: Node) -> bool:
+    from repro.io.registry import source_capabilities
+
+    spec = source_capabilities(node.args.get("format"))
+    return spec is not None and spec.supports_projection
 
 
 def _required_columns(
@@ -64,7 +78,7 @@ def _required_columns(
             out_req = out_req | {ALL_COLUMNS}
 
         op = node.op
-        if op in ("read_csv", "from_data"):
+        if op in ("read_csv", "scan", "from_data", "from_pandas"):
             continue
         if op == "getitem_column":
             demand(node.inputs[0], {node.args["column"]})
@@ -153,7 +167,8 @@ def _print_demand(node: Node) -> Set[str]:
 
 
 _FRAME_OPS = {
-    "read_csv", "from_data", "getitem_columns", "filter", "setitem",
+    "read_csv", "scan", "from_data", "from_pandas",
+    "getitem_columns", "filter", "setitem",
     "dropna", "fillna", "astype", "rename", "drop", "sort_values",
     "sort_index", "drop_duplicates", "head", "tail", "sample", "merge",
     "concat", "nlargest", "nsmallest", "describe", "reset_index",

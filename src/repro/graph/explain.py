@@ -16,7 +16,7 @@ from repro.graph.node import Node
 from repro.graph.taskgraph import topological_order
 
 #: args whose values are payloads, not plan structure.
-_ELIDED_ARGS = {"segments", "marker_map", "data"}
+_ELIDED_ARGS = {"segments", "marker_map", "data", "frame"}
 
 _MAX_VALUE_CHARS = 48
 
@@ -32,11 +32,47 @@ def _format_value(key: str, value) -> str:
     return text
 
 def _format_args(node: Node) -> str:
+    if node.op == "scan":
+        return _format_scan_args(node)
     parts = []
     for key, value in node.args.items():
         if key in _ELIDED_ARGS or value is None:
             continue
         parts.append(f"{key}={_format_value(key, value)}")
+    return ", ".join(parts)
+
+
+#: scan args with dedicated renderings below (est_bytes is elided: a
+#: scheduling hint, not plan structure).
+_SCAN_SPECIAL = {"format", "path", "predicate", "partitions",
+                 "partitions_total", "columns", "est_bytes"}
+
+
+def _format_scan_args(node: Node) -> str:
+    """Scan nodes render their negotiated contract explicitly: the
+    folded-in projection columns, the pushed predicate in compact infix
+    form, and ``partitions=kept/total`` once the pruning pass counted
+    them."""
+    args = node.args
+    parts = [f"format={args.get('format')!r}",
+             f"path={os.path.basename(str(args.get('path')))}"]
+    for key in sorted(args):
+        if key in _SCAN_SPECIAL or args[key] is None:
+            continue
+        parts.append(f"{key}={_format_value(key, args[key])}")
+    if args.get("columns") is not None:
+        parts.append(f"columns={list(args['columns'])!r}")
+    if args.get("predicate"):
+        from repro.io.predicate import Predicate
+
+        parts.append(
+            f"predicate={Predicate.from_arg(args['predicate']).render()}"
+        )
+    total = args.get("partitions_total")
+    if total is not None:
+        kept = args.get("partitions")
+        read = len(kept) if kept is not None else total
+        parts.append(f"partitions={read}/{total}")
     return ", ".join(parts)
 
 

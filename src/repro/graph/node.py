@@ -237,7 +237,20 @@ register_op(OpSpec(
     is_source=True,
 ))
 register_op(OpSpec(
+    # the generic source node: args carry a format name, a path, and the
+    # folded-in scan contract (columns / predicate / kept partitions);
+    # repro.io resolves them back into a DataSource at execution time.
+    "scan",
+    used_attrs=lambda n: set(),
+    is_source=True,
+))
+register_op(OpSpec(
     "from_data",
+    used_attrs=lambda n: set(),
+    is_source=True,
+))
+register_op(OpSpec(
+    "from_pandas",
     used_attrs=lambda n: set(),
     is_source=True,
 ))

@@ -43,6 +43,8 @@ class Scheduler:
         #: substituted this scheduler (stats report both).
         self.requested_strategy: Optional[str] = None
         self.last_stats: Optional[ExecutionStats] = None
+        #: node id -> predicted output bytes (filled per execute()).
+        self._estimates: Dict[int, int] = {}
 
     # -- memory ----------------------------------------------------------
 
@@ -72,6 +74,13 @@ class Scheduler:
         order = [n for n in order if n.id in needed]
         refcounts = initial_refcounts(order)
         root_ids = {r.id for r in roots}
+        # Per-node size predictions (width x rows from source statistics,
+        # propagated through operators): admission control asks them
+        # whether a candidate fits the remaining memory headroom, and
+        # stats record them next to the actual bytes.
+        from repro.graph.scheduler.estimates import estimate_node_bytes
+
+        self._estimates = estimate_node_bytes(order, self.session)
 
         started = time.perf_counter()
         try:
@@ -122,7 +131,15 @@ class Scheduler:
             bytes_registered=memory.total_registered - reg_before,
             bytes_released=memory.total_released - rel_before,
             worker=threading.current_thread().name,
+            bytes_estimated=self._estimates.get(node.id),
         )
+        if node.op == "scan":
+            total = node.args.get("partitions_total")
+            if total is not None:
+                kept = node.args.get("partitions")
+                stats.record_scan(
+                    len(kept) if kept is not None else total, total
+                )
 
     @staticmethod
     def _release_inputs(node: Node, refcounts: Dict[int, int],

@@ -1,0 +1,109 @@
+"""Per-node byte estimates for memory-aware admission.
+
+Closes the PR 2 seam: the threaded scheduler's admission throttle used
+to be all-or-nothing (any headroom admits any node).  This module gives
+every node a *predicted in-memory size* so admission can ask the real
+question -- "does THIS node fit in the remaining headroom?":
+
+- source nodes get width x rows from statistics: ``scan`` nodes ask
+  their :class:`~repro.io.source.DataSource` (per-partition byte/row
+  estimates from the metastore, narrowed by folded projection and
+  pruned partitions), ``read_csv`` nodes ask the metastore directly,
+  falling back to the file size on disk,
+- operator nodes use a simple width x rows propagation: row-preserving
+  and filtering operators are bounded by their largest input, scalar
+  aggregations shrink to a constant, everything unknown stays unknown.
+
+Estimates are advisory: a missing estimate degrades that node to the
+old all-or-nothing behaviour, never blocks execution, and the recorded
+estimated-vs-actual pairs in
+:class:`~repro.graph.scheduler.stats.ExecutionStats` are how the
+heuristic is audited.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Optional, Sequence
+
+from repro.graph.node import Node
+
+#: a scalar result (aggregate, len) is a few machine words.
+_SCALAR_BYTES = 64
+
+
+def estimate_node_bytes(
+    order: Sequence[Node], session
+) -> Dict[int, int]:
+    """Estimated output bytes per node id (absent = unknown).
+
+    ``order`` must be topological (estimates propagate forward).
+    """
+    metastore = getattr(session, "metastore", None) if session else None
+    estimates: Dict[int, Optional[int]] = {}
+    for node in order:
+        estimates[node.id] = _estimate(node, estimates, metastore)
+    return {k: v for k, v in estimates.items() if v is not None}
+
+
+def _estimate(
+    node: Node,
+    estimates: Dict[int, Optional[int]],
+    metastore,
+) -> Optional[int]:
+    op = node.op
+    if op == "scan":
+        return _scan_estimate(node, metastore)
+    if op == "read_csv":
+        return _read_csv_estimate(node, metastore)
+    if op in ("from_data", "from_pandas"):
+        payload = node.args.get("data") or node.args.get("frame")
+        nbytes = getattr(payload, "nbytes", None)
+        return int(nbytes) if isinstance(nbytes, (int, float)) else None
+    if node.spec.scalar:
+        return _SCALAR_BYTES
+    inherited = [
+        estimates.get(inp.id) for inp in node.inputs
+        if estimates.get(inp.id) is not None
+    ]
+    if not inherited:
+        return None
+    if op in ("head", "tail"):
+        # a handful of rows: negligible next to its input.
+        return min(max(inherited), 4096)
+    if op in ("merge", "concat"):
+        return sum(inherited)
+    # Row-preserving transforms, filters, aggregations: bounded by the
+    # widest input (filters and group-bys only shrink it).
+    return max(inherited)
+
+
+def _scan_estimate(node: Node, metastore) -> Optional[int]:
+    stamped = node.args.get("est_bytes")
+    if stamped is not None:
+        # the pruning pass computed this with the source in hand; reuse
+        # it instead of re-listing partitions from the filesystem.
+        return int(stamped)
+    from repro.io.registry import resolve_source
+
+    try:
+        source = resolve_source(node.args, metastore=metastore)
+        return source.estimated_bytes(
+            columns=node.args.get("columns"),
+            partitions=node.args.get("partitions"),
+        )
+    except Exception:  # noqa: BLE001 - missing path, unknown format
+        return None
+
+
+def _read_csv_estimate(node: Node, metastore) -> Optional[int]:
+    path = node.args.get("path")
+    if path is None:
+        return None
+    meta = metastore.get(path) if metastore is not None else None
+    if meta is not None:
+        return meta.estimated_bytes(node.args.get("usecols"))
+    try:
+        return os.path.getsize(path)
+    except OSError:
+        return None

@@ -31,6 +31,9 @@ class NodeStat:
     bytes_registered: int
     bytes_released: int
     worker: str
+    #: the scheduler's pre-execution size prediction (None = unknown);
+    #: compare against ``bytes_registered`` to audit the estimator.
+    bytes_estimated: Optional[int] = None
 
     def to_dict(self) -> Dict[str, object]:
         return dataclasses.asdict(self)
@@ -55,6 +58,13 @@ class ExecutionStats:
         self.throttle_waits = 0
         self.bytes_registered = 0
         self.bytes_released = 0
+        #: sum of per-node size predictions (nodes with one).
+        self.bytes_estimated = 0
+        #: scan-source partition accounting: how many partitions the
+        #: executed scans actually read vs how many their sources have
+        #: (pruning shows up as read < total).
+        self.partitions_read = 0
+        self.partitions_total = 0
         #: the session manager's high-water mark when the run finished.
         #: The manager's peak is *not* reset per run (the workload runner
         #: measures whole-program peaks on the same manager), so this can
@@ -68,7 +78,8 @@ class ExecutionStats:
 
     def record_node(self, node, wall_seconds: float, queue_wait_seconds: float,
                     bytes_registered: int, bytes_released: int,
-                    worker: str) -> None:
+                    worker: str,
+                    bytes_estimated: Optional[int] = None) -> None:
         stat = NodeStat(
             node_id=node.id,
             op=node.op,
@@ -78,12 +89,20 @@ class ExecutionStats:
             bytes_registered=bytes_registered,
             bytes_released=bytes_released,
             worker=worker,
+            bytes_estimated=bytes_estimated,
         )
         with self._lock:
             self.nodes.append(stat)
             self.nodes_executed += 1
             self.bytes_registered += bytes_registered
             self.bytes_released += bytes_released
+            if bytes_estimated is not None:
+                self.bytes_estimated += bytes_estimated
+
+    def record_scan(self, partitions_read: int, partitions_total: int) -> None:
+        with self._lock:
+            self.partitions_read += partitions_read
+            self.partitions_total += partitions_total
 
     def record_cache_hit(self) -> None:
         with self._lock:
@@ -114,6 +133,9 @@ class ExecutionStats:
             "throttle_waits": self.throttle_waits,
             "bytes_registered": self.bytes_registered,
             "bytes_released": self.bytes_released,
+            "bytes_estimated": self.bytes_estimated,
+            "partitions_read": self.partitions_read,
+            "partitions_total": self.partitions_total,
             "manager_peak_bytes": self.manager_peak_bytes,
             "nodes": [stat.to_dict() for stat in self.nodes],
         }
@@ -136,14 +158,23 @@ class ExecutionStats:
             )
         if self.throttle_waits:
             lines.append(f"memory throttle waits: {self.throttle_waits}")
+        if self.partitions_total:
+            lines.append(
+                f"scan partitions read: {self.partitions_read}"
+                f"/{self.partitions_total}"
+            )
         for stat in self.nodes:
             label = f" {stat.label}" if stat.label else ""
+            estimate = (
+                f" est={stat.bytes_estimated}B"
+                if stat.bytes_estimated is not None else ""
+            )
             lines.append(
                 f"  node {stat.node_id} {stat.op}{label}: "
                 f"{stat.wall_seconds * 1e3:.2f}ms "
                 f"(+{stat.queue_wait_seconds * 1e3:.2f}ms queued) "
-                f"reg={stat.bytes_registered}B rel={stat.bytes_released}B "
-                f"[{stat.worker}]"
+                f"reg={stat.bytes_registered}B rel={stat.bytes_released}B"
+                f"{estimate} [{stat.worker}]"
             )
         return "\n".join(lines)
 

@@ -7,11 +7,16 @@ chains stay in program order), releases inputs under one coordination
 lock as their last consumer finishes (the section-2.6 eager release made
 thread-safe), and guards each node's result slot with a per-node lock.
 
-Memory-aware admission: when the session's manager has a budget and no
-headroom left, the coordinator stops admitting new nodes until a running
-one completes (completions release inputs, freeing tracked bytes) --
-throttling instead of OOM-ing.  At least one node is always in flight,
-so progress is guaranteed.
+Memory-aware admission: when the session's manager has a budget, a
+candidate node is admitted only while its *predicted* footprint (the
+per-node byte estimates of :mod:`repro.graph.scheduler.estimates`:
+metastore width x rows for scans and reads, propagated through
+operators) fits the remaining headroom; nodes without an estimate fall
+back to the old all-or-nothing check (any positive headroom admits).
+Once admission pauses, it resumes as running nodes complete (completions
+release inputs, freeing tracked bytes) -- throttling instead of
+OOM-ing.  At least one node is always in flight, so progress is
+guaranteed.
 
 Worker threads activate the owning session so ``current_session()`` --
 and therefore the per-session memory manager every
@@ -30,7 +35,7 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from repro.graph.node import Node
 from repro.graph.scheduler.base import Scheduler
@@ -115,7 +120,12 @@ class ThreadedScheduler(Scheduler):
                 stalled = False
                 while state["done"] < total and not errors:
                     while ready and state["in_flight"] < self.max_workers:
-                        if self._throttled(state["in_flight"]):
+                        if ready[0].computed:
+                            # cached (persisted) result; inputs not re-read
+                            stats.record_cache_hit()
+                            finish(ready.popleft(), release=False)
+                            continue
+                        if self._throttled(state["in_flight"], ready[0]):
                             # one throttle event per stall, however many
                             # timeout wakeups re-observe it.
                             if not stalled:
@@ -124,11 +134,6 @@ class ThreadedScheduler(Scheduler):
                             break
                         stalled = False
                         node = ready.popleft()
-                        if node.computed:
-                            # cached (persisted) result; inputs not re-read
-                            stats.record_cache_hit()
-                            finish(node, release=False)
-                            continue
                         state["in_flight"] += 1
                         pool.submit(
                             worker, node,
@@ -147,16 +152,25 @@ class ThreadedScheduler(Scheduler):
 
     # -- admission control ------------------------------------------------
 
-    def _throttled(self, in_flight: int) -> bool:
-        """True when admission should pause for memory headroom.
+    def _throttled(self, in_flight: int, node: Optional[Node] = None) -> bool:
+        """True when admitting ``node`` should pause for memory headroom.
 
-        Never throttles the only candidate -- with nothing in flight the
-        node must run (and possibly OOM) or the graph would deadlock.
+        With a per-node byte estimate the check is sized: the node is
+        held back while its predicted footprint exceeds the remaining
+        headroom.  Without one it degrades to the all-or-nothing rule
+        (any positive headroom admits).  Never throttles the only
+        candidate -- with nothing in flight the node must run (and
+        possibly OOM) or the graph would deadlock.
         """
         if in_flight == 0:
             return False
         headroom = self.memory.headroom()
-        return headroom is not None and headroom <= 0
+        if headroom is None:
+            return False
+        estimate = self._estimates.get(node.id) if node is not None else None
+        if estimate is None:
+            return headroom <= 0
+        return headroom < estimate
 
     # -- worker-thread session binding ------------------------------------
 

@@ -1,0 +1,48 @@
+"""The LaFP source layer: pluggable scan formats behind one protocol.
+
+Structure (mirrors the engine and scheduler subsystems):
+
+- :mod:`repro.io.source`    -- the :class:`DataSource` protocol and
+  :class:`Partition` (per-piece statistics: row/byte estimates, exact
+  min/max, hive key values),
+- :mod:`repro.io.registry`  -- :class:`SourceRegistry` +
+  :data:`DEFAULT_SOURCES` (csv / jsonl / dataset),
+- :mod:`repro.io.predicate` -- the serializable predicate fragment both
+  the optimizer and the sources understand,
+- :mod:`repro.io.api`       -- ``scan_csv`` / ``scan_jsonl`` /
+  ``scan_dataset`` / ``from_pandas`` building LazyFrames over ``scan``
+  nodes,
+- format modules            -- :mod:`~repro.io.csv_source`,
+  :mod:`~repro.io.jsonl`, :mod:`~repro.io.dataset`.
+"""
+
+from repro.io.csv_source import CsvSource
+from repro.io.dataset import DatasetSource, write_dataset
+from repro.io.jsonl import JsonlSource, read_jsonl, write_jsonl
+from repro.io.predicate import Predicate, conjuncts_from_mask
+from repro.io.registry import (
+    DEFAULT_SOURCES,
+    SourceRegistry,
+    SourceSpec,
+    resolve_source,
+    source_capabilities,
+)
+from repro.io.source import DataSource, Partition
+
+__all__ = [
+    "CsvSource",
+    "DEFAULT_SOURCES",
+    "DataSource",
+    "DatasetSource",
+    "JsonlSource",
+    "Partition",
+    "Predicate",
+    "SourceRegistry",
+    "SourceSpec",
+    "conjuncts_from_mask",
+    "read_jsonl",
+    "resolve_source",
+    "source_capabilities",
+    "write_dataset",
+    "write_jsonl",
+]

@@ -1,0 +1,168 @@
+"""Top-level scan constructors: LazyFrames rooted at generic ``scan``
+nodes.
+
+``repro.scan_csv() / scan_jsonl() / scan_dataset()`` are the unified
+ingress: each returns a :class:`~repro.core.lazyframe.LazyFrame` whose
+root is a ``scan`` node carrying the format name, the path, and the
+format's read options.  The optimizer folds projections and predicates
+into those args when the format's registry spec says the source can
+execute them, and the pruning pass drops partitions whose statistics
+provably fail the folded predicate; backends resolve the args back into
+a :class:`~repro.io.source.DataSource` at execution time.
+
+``scan_source()`` is the generic spelling custom formats use after
+registering a :class:`~repro.io.registry.SourceSpec`.  ``from_pandas()``
+wraps an already materialized eager frame.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional, Sequence
+
+from repro.core.lazyframe import LazyFrame
+from repro.core.session import current_session
+from repro.graph.node import Node
+from repro.io.registry import DEFAULT_SOURCES, resolve_source
+
+
+def scan_source(
+    fmt: str,
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    index_col: Optional[str] = None,
+    **options,
+) -> LazyFrame:
+    """A LazyFrame scanning ``path`` through the ``fmt`` source.
+
+    ``usecols`` seeds the scan's projection (the optimizer narrows it
+    further); other keyword options (``dtype``, ``parse_dates``,
+    ``nrows``, ``partition_bytes``, ...) travel to the source
+    constructor.  ``index_col`` is realized as a ``set_index`` node
+    after the scan, so sources stay index-free.
+    """
+    session = current_session()
+    args = {"format": str(fmt), "path": path}
+    if usecols is not None:
+        args["columns"] = list(usecols)
+    for key, value in options.items():
+        if value is not None:
+            args[key] = value
+    node = Node("scan", args=args, label=f"scan_{fmt} {path}")
+    columns = _static_schema(args, session)
+    frame = LazyFrame(session.register(node), session, columns=columns)
+    if index_col is not None:
+        frame = frame.set_index(index_col)
+    return frame
+
+
+def _static_schema(args: dict, session) -> Optional[list]:
+    """Best-effort column tracking at graph-build time (never fatal)."""
+    try:
+        source = resolve_source(args, metastore=session.metastore)
+        schema = source.schema()
+    except Exception:  # noqa: BLE001 - missing file, unknown format, ...
+        return None
+    if args.get("columns") is not None:
+        wanted = set(args["columns"])
+        return [c for c in schema if c in wanted]
+    return list(schema)
+
+
+def scan_csv(
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    dtype: Optional[dict] = None,
+    parse_dates: Optional[Sequence[str]] = None,
+    nrows: Optional[int] = None,
+    index_col: Optional[str] = None,
+    partition_bytes: Optional[int] = None,
+    read_only_cols: Optional[Sequence[str]] = None,
+    mutated_cols: Optional[Sequence[str]] = None,
+) -> LazyFrame:
+    """Lazy CSV scan (the ``read_csv`` path behind the source protocol)."""
+    return scan_source(
+        "csv", path, usecols=usecols, index_col=index_col,
+        dtype=dict(dtype) if dtype else None,
+        parse_dates=list(parse_dates) if parse_dates else None,
+        nrows=nrows, partition_bytes=partition_bytes,
+        read_only_cols=list(read_only_cols) if read_only_cols else None,
+        mutated_cols=list(mutated_cols) if mutated_cols else None,
+    )
+
+
+def scan_jsonl(
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    dtype: Optional[dict] = None,
+    parse_dates: Optional[Sequence[str]] = None,
+    nrows: Optional[int] = None,
+    index_col: Optional[str] = None,
+    partition_bytes: Optional[int] = None,
+) -> LazyFrame:
+    """Lazy newline-delimited-JSON scan."""
+    return scan_source(
+        "jsonl", path, usecols=usecols, index_col=index_col,
+        dtype=dict(dtype) if dtype else None,
+        parse_dates=list(parse_dates) if parse_dates else None,
+        nrows=nrows, partition_bytes=partition_bytes,
+    )
+
+
+def scan_dataset(
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    dtype: Optional[dict] = None,
+    parse_dates: Optional[Sequence[str]] = None,
+    index_col: Optional[str] = None,
+) -> LazyFrame:
+    """Lazy scan of a hive-style ``key=value/`` partitioned dataset."""
+    return scan_source(
+        "dataset", path, usecols=usecols, index_col=index_col,
+        dtype=dict(dtype) if dtype else None,
+        parse_dates=list(parse_dates) if parse_dates else None,
+    )
+
+
+def from_pandas(frame) -> LazyFrame:
+    """Wrap an eager frame into the lazy graph.
+
+    The frame enters as a source node; the session's backend converts it
+    into its own representation (partitioned on Dask/Modin) on first
+    execution.
+    """
+    session = current_session()
+    node = Node("from_pandas", args={"frame": frame}, label="from_pandas")
+    columns = list(getattr(frame, "columns", None) or []) or None
+    return LazyFrame(session.register(node), session, columns=columns)
+
+
+def sibling_variant(csv_path: str, fmt: str) -> Optional[str]:
+    """The on-disk variant of ``csv_path`` in another physical format.
+
+    The naming convention shared with the workload generator: ``x.csv``
+    has a JSONL sibling ``x.jsonl`` and a hive-partitioned sibling
+    directory ``x_hive/``.  Returns ``None`` when the variant does not
+    exist (callers fall back to the CSV).
+    """
+    stem, ext = os.path.splitext(csv_path)
+    if ext != ".csv":
+        return None
+    if fmt == "jsonl":
+        candidate = stem + ".jsonl"
+        return candidate if os.path.isfile(candidate) else None
+    if fmt == "dataset":
+        candidate = stem + "_hive"
+        return candidate if os.path.isdir(candidate) else None
+    return None
+
+
+__all__ = [
+    "DEFAULT_SOURCES",
+    "from_pandas",
+    "scan_csv",
+    "scan_dataset",
+    "scan_jsonl",
+    "scan_source",
+    "sibling_variant",
+]

@@ -1,0 +1,140 @@
+"""The CSV :class:`DataSource`: the seed reader behind a scan boundary.
+
+Wraps :mod:`repro.frame.io_csv` (including its ``scan_partitions``
+byte-range chunking, unchanged) in the :class:`~repro.io.source.DataSource`
+protocol, so the optimizer can fold projections (``usecols``) and
+predicates into the read, and the pruning pass can consult the
+metastore's per-partition min/max statistics
+(:class:`repro.metastore.stats.PartitionStats`).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.frame.io_csv import read_csv, read_header, scan_partitions
+from repro.io.source import DataSource, Partition
+
+#: Target bytes of CSV per partition (the Dask backend's scale).
+DEFAULT_PARTITION_BYTES = 1 << 20
+
+
+def attach_file_stats(parts: List[Partition], path: str, metastore) -> None:
+    """Fill partition statistics from the metastore, when available.
+
+    Per-partition entries (``FileMetadata.partitions``) must have been
+    computed over the *same* byte ranges the source derives -- ranges are
+    matched exactly and silently ignored otherwise, so stale chunking
+    can never mis-prune.  Exact per-partition min/max enables pruning;
+    row/byte estimates feed the scheduler's admission throttle.
+    """
+    meta = metastore.get(path) if metastore is not None else None
+    if meta is None:
+        return
+    by_range = {
+        (p.start, p.end): p for p in meta.partitions
+    }
+    for part in parts:
+        stat = by_range.get(part.byte_range)
+        if stat is None:
+            continue
+        part.est_rows = stat.n_rows
+        part.est_bytes = stat.n_bytes
+        part.min_values = dict(stat.min_values)
+        part.max_values = dict(stat.max_values)
+
+
+class CsvSource(DataSource):
+    """Byte-range partitioned CSV (migrated from the ``io_csv`` path)."""
+
+    format_name = "csv"
+    supports_projection = True
+    supports_predicate = True
+    partitioned = True
+
+    def __init__(self, path: str, metastore=None, **options):
+        super().__init__(path, metastore=metastore, **options)
+        self.partition_bytes = int(
+            options.get("partition_bytes") or DEFAULT_PARTITION_BYTES
+        )
+        self._schema: Optional[List[str]] = None
+        self._full_span: Optional[tuple] = None
+        self._parts: Optional[List[Partition]] = None
+
+    def schema(self) -> List[str]:
+        if self._schema is None:
+            self._schema = read_header(self.path)
+        return self._schema
+
+    def full_span(self) -> tuple:
+        """The whole data region ``(data_start, file_size)``."""
+        if self._full_span is None:
+            size = os.path.getsize(self.path)
+            with open(self.path, "rb") as f:
+                f.readline()  # header
+                self._full_span = (f.tell(), size)
+        return self._full_span
+
+    def partitions(self) -> List[Partition]:
+        if self._parts is not None:
+            return self._parts
+        if self.options.get("nrows") is not None:
+            # A row-limited read is inherently sequential: one partition.
+            size = os.path.getsize(self.path)
+            parts = [Partition(0, self.path, byte_range=(0, size),
+                               est_bytes=size)]
+        else:
+            n = max(1, os.path.getsize(self.path) // self.partition_bytes)
+            ranges = scan_partitions(self.path, int(n))
+            parts = [
+                Partition(i, self.path, byte_range=rng,
+                          est_bytes=rng[1] - rng[0])
+                for i, rng in enumerate(ranges)
+            ]
+            if not parts:  # header-only file: one empty piece
+                parts = [Partition(0, self.path, byte_range=(0, 0),
+                                   est_bytes=0)]
+        attach_file_stats(parts, self.path, self.metastore)
+        self._parts = parts
+        return parts
+
+    def read_partition(self, partition, columns=None, predicate=None):
+        read_cols = self._read_columns(columns, predicate)
+        nrows = self.options.get("nrows")
+        byte_range = partition.byte_range
+        if nrows is not None or byte_range == self.full_span():
+            # a single whole-file partition takes the bulk parser path
+            byte_range = None
+        frame = read_csv(
+            self.path,
+            usecols=read_cols,
+            dtype=self.options.get("dtype"),
+            parse_dates=self.options.get("parse_dates"),
+            nrows=nrows,
+            byte_range=byte_range,
+        )
+        return self._finish(frame, columns, predicate)
+
+    def estimated_bytes(self, columns=None, partitions=None):
+        parts = self.select_partitions(partitions)
+        meta = self.metastore.get(self.path) if self.metastore else None
+        if meta is not None and meta.columns:
+            # width x rows from column statistics, per selected partition.
+            names = list(columns) if columns is not None else list(meta.columns)
+            width = sum(
+                meta.columns[n].avg_width for n in names if n in meta.columns
+            )
+            rows = sum(
+                p.est_rows if p.est_rows is not None
+                else _rows_from_bytes(p, meta)
+                for p in parts
+            )
+            return int(width * rows)
+        return super().estimated_bytes(columns=columns, partitions=partitions)
+
+
+def _rows_from_bytes(part: Partition, meta) -> float:
+    if part.est_bytes is None or not meta.row_size:
+        return 0.0
+    return part.est_bytes / max(1.0, meta.row_size)

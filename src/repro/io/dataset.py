@@ -1,0 +1,212 @@
+"""Directory-partitioned datasets (hive-style ``key=value/`` layout).
+
+A dataset root contains one subdirectory level per partition key::
+
+    sales/
+      region=east/part-0.csv
+      region=west/part-0.csv
+
+Each leaf file is one partition; the key columns are not stored in the
+leaves -- they are constants recovered from the path and appended to
+every row on read.  That makes predicates over partition keys *exactly*
+prunable (no statistics needed), while predicates over payload columns
+prune through the metastore's per-file min/max (trusted only when the
+file's metadata was computed unsampled -- sampled extrema are not
+proof).
+
+Leaves may be CSV or JSONL; :func:`write_dataset` produces the layout
+from an eager frame (the datagen "partitioned variant" path).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.frame import DataFrame
+from repro.frame.column import Column
+from repro.frame.io_csv import read_csv, read_header, write_csv
+from repro.io.jsonl import read_jsonl, read_jsonl_header, write_jsonl
+from repro.io.source import DataSource, Partition
+
+_LEAF_EXTENSIONS = (".csv", ".jsonl")
+
+
+def parse_key_value(component: str):
+    """``"year=2024"`` -> ``("year", 2024)`` with numeric coercion."""
+    key, _, raw = component.partition("=")
+    return key, coerce_key_value(raw)
+
+
+def coerce_key_value(raw: str):
+    try:
+        return int(raw)
+    except ValueError:
+        try:
+            return float(raw)
+        except ValueError:
+            return raw
+
+
+def discover_leaves(root: str) -> List[dict]:
+    """All leaf files under ``root`` with their decoded key values,
+    sorted by relative path for deterministic partition indices."""
+    leaves = []
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames.sort()
+        rel = os.path.relpath(dirpath, root)
+        components = [] if rel == "." else rel.split(os.sep)
+        if not all("=" in c for c in components):
+            continue
+        keys = dict(parse_key_value(c) for c in components)
+        for name in sorted(filenames):
+            if name.endswith(_LEAF_EXTENSIONS):
+                leaves.append({
+                    "path": os.path.join(dirpath, name),
+                    "key_values": keys,
+                })
+    return leaves
+
+
+def write_dataset(
+    frame: DataFrame,
+    root: str,
+    partition_on: str,
+    fmt: str = "csv",
+) -> List[str]:
+    """Write ``frame`` as a hive-partitioned dataset; returns leaf paths.
+
+    Rows are grouped by ``partition_on``; the key column lives only in
+    the directory names (read back as a constant column).
+    """
+    values = frame.column(partition_on).to_array()
+    payload = frame[[c for c in frame.columns if c != partition_on]]
+    paths = []
+    for value in _ordered_unique(values):
+        mask = values == value
+        piece = payload.take(np.nonzero(mask)[0])
+        leaf_dir = os.path.join(root, f"{partition_on}={value}")
+        os.makedirs(leaf_dir, exist_ok=True)
+        leaf = os.path.join(leaf_dir, f"part-0.{fmt}")
+        if fmt == "jsonl":
+            write_jsonl(piece, leaf)
+        else:
+            write_csv(piece, leaf)
+        paths.append(leaf)
+    return paths
+
+
+def _ordered_unique(values: np.ndarray) -> List[object]:
+    seen = set()
+    out = []
+    for v in values.tolist():
+        if v not in seen:
+            seen.add(v)
+            out.append(v)
+    return out
+
+
+class DatasetSource(DataSource):
+    """One partition per leaf file; hive keys become constant columns."""
+
+    format_name = "dataset"
+    supports_projection = True
+    supports_predicate = True
+    partitioned = True
+
+    def __init__(self, path: str, metastore=None, **options):
+        super().__init__(path, metastore=metastore, **options)
+        self._leaves: Optional[List[dict]] = None
+        self._schema: Optional[List[str]] = None
+        self._parts: Optional[List[Partition]] = None
+
+    # -- layout -----------------------------------------------------------
+
+    def leaves(self) -> List[dict]:
+        if self._leaves is None:
+            self._leaves = discover_leaves(self.path)
+            if not self._leaves:
+                raise OSError(f"no partition files under {self.path!r}")
+        return self._leaves
+
+    def key_columns(self) -> List[str]:
+        return list(self.leaves()[0]["key_values"])
+
+    def schema(self) -> List[str]:
+        if self._schema is None:
+            first = self.leaves()[0]["path"]
+            if first.endswith(".jsonl"):
+                leaf_cols = read_jsonl_header(first)
+            else:
+                leaf_cols = read_header(first)
+            self._schema = leaf_cols + self.key_columns()
+        return self._schema
+
+    def partitions(self) -> List[Partition]:
+        if self._parts is not None:
+            return self._parts
+        parts = []
+        for index, leaf in enumerate(self.leaves()):
+            part = Partition(
+                index, leaf["path"], key_values=dict(leaf["key_values"]),
+                est_bytes=os.path.getsize(leaf["path"]),
+            )
+            self._attach_leaf_stats(part)
+            parts.append(part)
+        self._parts = parts
+        return parts
+
+    def _attach_leaf_stats(self, part: Partition) -> None:
+        meta = self.metastore.get(part.path) if self.metastore else None
+        if meta is None:
+            return
+        part.est_rows = meta.n_rows
+        part.est_bytes = int(meta.row_size * meta.n_rows) or part.est_bytes
+        if meta.sampled:
+            return  # sampled extrema are estimates, not pruning proof
+        for name, stats in meta.columns.items():
+            if stats.min_value is not None:
+                part.min_values[name] = stats.min_value
+            if stats.max_value is not None:
+                part.max_values[name] = stats.max_value
+
+    # -- reading ----------------------------------------------------------
+
+    def read_partition(self, partition, columns=None, predicate=None):
+        keys = partition.key_values
+        read_cols = self._read_columns(columns, predicate)
+        leaf_cols = None
+        if read_cols is not None:
+            leaf_cols = [c for c in read_cols if c not in keys]
+        if partition.path.endswith(".jsonl"):
+            frame = read_jsonl(
+                partition.path,
+                columns=leaf_cols,
+                parse_dates=self.options.get("parse_dates"),
+                dtype=self.options.get("dtype"),
+            )
+        else:
+            frame = read_csv(
+                partition.path,
+                usecols=leaf_cols,
+                dtype=self.options.get("dtype"),
+                parse_dates=self.options.get("parse_dates"),
+            )
+        n = len(frame)
+        for name, value in keys.items():
+            if read_cols is not None and name not in read_cols:
+                continue
+            frame = frame.with_column(name, _constant_column(value, n))
+        return self._finish(frame, columns, predicate)
+
+
+def _constant_column(value, n: int) -> Column:
+    if isinstance(value, bool) or isinstance(value, str):
+        return Column(np.asarray([value] * n, dtype=object))
+    if isinstance(value, int):
+        return Column(np.full(n, value, dtype=np.int64))
+    if isinstance(value, float):
+        return Column(np.full(n, value, dtype=np.float64))
+    return Column(np.asarray([value] * n, dtype=object))

@@ -1,0 +1,252 @@
+"""Newline-delimited JSON: reader, writer, and the :class:`JsonlSource`.
+
+One JSON object per line.  Values keep their JSON types (ints stay
+int64, floats float64, ``null`` becomes NA), which is exactly the
+metadata CSV loses -- the format exists here so the scan layer has a
+second real format with different physical characteristics.
+
+Byte-range partitioning reuses the CSV convention (a reader seeks to
+``start``, finishes the partial line, reads until past ``end``) minus
+the header line CSV carries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.frame import DataFrame
+from repro.frame.column import Column
+from repro.io.source import DataSource, Partition
+
+#: Target bytes per partition (same scale as the CSV sources).
+DEFAULT_PARTITION_BYTES = 1 << 20
+
+
+def write_jsonl(frame: DataFrame, path: str) -> None:
+    """Write a frame as one JSON object per line (NA as ``null``)."""
+    arrays = [frame.column(name).to_array() for name in frame.columns]
+    names = frame.columns
+    with open(path, "w") as f:
+        for i in range(len(frame)):
+            record = {}
+            for name, arr in zip(names, arrays):
+                record[name] = _jsonable(arr[i])
+            f.write(json.dumps(record) + "\n")
+
+
+def _jsonable(value):
+    if value is None:
+        return None
+    if isinstance(value, (np.floating, float)):
+        return None if np.isnan(value) else float(value)
+    if isinstance(value, (np.integer, int)):
+        return int(value)
+    if isinstance(value, np.bool_):
+        return bool(value)
+    if isinstance(value, np.datetime64):
+        if np.isnat(value):
+            return None
+        return str(value.astype("datetime64[s]")).replace("T", " ")
+    return str(value)
+
+
+def read_jsonl_header(path: str) -> List[str]:
+    """Column names: union of keys over the first few records, in
+    first-seen order (records may omit keys)."""
+    names: List[str] = []
+    seen = set()
+    with open(path) as f:
+        for i, line in enumerate(f):
+            if i >= 100:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            for key in json.loads(line):
+                if key not in seen:
+                    seen.add(key)
+                    names.append(key)
+    return names
+
+
+def read_jsonl(
+    path: str,
+    columns: Optional[Sequence[str]] = None,
+    nrows: Optional[int] = None,
+    byte_range: Optional[Tuple[int, int]] = None,
+    parse_dates: Optional[Sequence[str]] = None,
+    dtype: Optional[dict] = None,
+) -> DataFrame:
+    """Read (a byte range of) a JSONL file into a :class:`DataFrame`."""
+    wanted = list(columns) if columns is not None else None
+    records: List[dict] = []
+    for line in _iter_lines(path, byte_range):
+        records.append(json.loads(line))
+        if nrows is not None and len(records) >= nrows:
+            break
+
+    if wanted is None:
+        wanted = []
+        seen = set()
+        for record in records:
+            for key in record:
+                if key not in seen:
+                    seen.add(key)
+                    wanted.append(key)
+        if not wanted and os.path.getsize(path):
+            wanted = read_jsonl_header(path)
+
+    columns_out: Dict[str, Column] = {}
+    parse_set = set(parse_dates or [])
+    for name in wanted:
+        values = [record.get(name) for record in records]
+        if name in parse_set:
+            cleaned = ["NaT" if v in (None, "") else str(v) for v in values]
+            columns_out[name] = Column(
+                np.asarray(cleaned, dtype="datetime64[ns]")
+            )
+        else:
+            columns_out[name] = _column_from_values(values)
+    frame = DataFrame.from_columns(columns_out)
+    if dtype:
+        applicable = {k: v for k, v in dtype.items() if k in set(wanted)}
+        if applicable:
+            frame = frame.astype(applicable)
+    return frame
+
+
+def _iter_lines(path: str, byte_range: Optional[Tuple[int, int]]):
+    if byte_range is None:
+        with open(path) as f:
+            for line in f:
+                line = line.strip()
+                if line:
+                    yield line
+        return
+    start, end = byte_range
+    with open(path, "rb") as f:
+        f.seek(start)
+        if start > 0:
+            f.seek(start - 1)
+            if f.read(1) != b"\n":
+                f.readline()  # partial line belongs to the upstream range
+        while f.tell() < end:
+            raw = f.readline()
+            if not raw:
+                break
+            text = raw.decode("utf-8").strip()
+            if text:
+                yield text
+
+
+def _column_from_values(values: List[object]) -> Column:
+    """JSON values -> typed column: int64 when all ints, float64 when
+    numeric with NA, object otherwise (None preserved as NA)."""
+    has_na = any(v is None for v in values)
+    non_null = [v for v in values if v is not None]
+    if non_null and all(
+        isinstance(v, bool) for v in non_null
+    ) and not has_na:
+        return Column(np.asarray(values, dtype=bool))
+    if non_null and all(
+        isinstance(v, int) and not isinstance(v, bool) for v in non_null
+    ):
+        if not has_na:
+            return Column(np.asarray(values, dtype=np.int64))
+        return Column(np.asarray(
+            [np.nan if v is None else float(v) for v in values],
+            dtype=np.float64,
+        ))
+    if non_null and all(
+        isinstance(v, (int, float)) and not isinstance(v, bool)
+        for v in non_null
+    ):
+        return Column(np.asarray(
+            [np.nan if v is None else float(v) for v in values],
+            dtype=np.float64,
+        ))
+    return Column(np.asarray(values, dtype=object))
+
+
+def jsonl_partitions(path: str, n_partitions: int) -> List[Tuple[int, int]]:
+    """Split a JSONL file into ~equal byte ranges (no header to skip);
+    ranges align to newlines downstream exactly like the CSV reader."""
+    size = os.path.getsize(path)
+    n_partitions = max(1, n_partitions)
+    span = max(1, size // n_partitions)
+    ranges = []
+    start = 0
+    for i in range(n_partitions):
+        end = size if i == n_partitions - 1 else min(size, start + span)
+        if start >= size:
+            break
+        ranges.append((start, end))
+        start = end
+    return ranges
+
+
+class JsonlSource(DataSource):
+    """Byte-range partitioned newline-delimited JSON."""
+
+    format_name = "jsonl"
+    supports_projection = True
+    supports_predicate = True
+    partitioned = True
+
+    def __init__(self, path: str, metastore=None, **options):
+        super().__init__(path, metastore=metastore, **options)
+        self.partition_bytes = int(
+            options.get("partition_bytes") or DEFAULT_PARTITION_BYTES
+        )
+        self._schema: Optional[List[str]] = None
+        self._parts: Optional[List[Partition]] = None
+
+    def schema(self) -> List[str]:
+        if self._schema is None:
+            self._schema = read_jsonl_header(self.path)
+        return self._schema
+
+    def partitions(self) -> List[Partition]:
+        from repro.io.csv_source import attach_file_stats
+
+        if self._parts is not None:
+            return self._parts
+        if self.options.get("nrows") is not None:
+            size = os.path.getsize(self.path)
+            parts = [Partition(0, self.path, byte_range=(0, size),
+                               est_bytes=size)]
+        else:
+            n = max(1, os.path.getsize(self.path) // self.partition_bytes)
+            parts = [
+                Partition(i, self.path, byte_range=rng,
+                          est_bytes=rng[1] - rng[0])
+                for i, rng in enumerate(jsonl_partitions(self.path, int(n)))
+            ]
+        attach_file_stats(parts, self.path, self.metastore)
+        self._parts = parts
+        return parts
+
+    def read_partition(self, partition, columns=None, predicate=None):
+        read_cols = self._read_columns(columns, predicate)
+        frame = read_jsonl(
+            partition.path,
+            columns=read_cols,
+            nrows=self.options.get("nrows"),
+            byte_range=partition.byte_range,
+            parse_dates=self.options.get("parse_dates"),
+            dtype=self.options.get("dtype"),
+        )
+        return self._finish(frame, columns, predicate)
+
+    def estimated_bytes(self, columns=None, partitions=None):
+        estimate = super().estimated_bytes(columns=columns,
+                                           partitions=partitions)
+        if estimate is not None:
+            # JSONL repeats every key on every row; the in-memory frame
+            # is much denser than the file. Halve the raw-byte estimate.
+            return estimate // 2
+        return None

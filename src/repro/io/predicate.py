@@ -1,0 +1,297 @@
+"""Serializable scan predicates: the currency of predicate pushdown
+*into* sources.
+
+The runtime optimizer's filters are mask-expression subgraphs; a source
+cannot execute those.  A :class:`Predicate` is the fragment both sides
+understand: a conjunction of simple per-column comparisons that
+
+- serializes to plain lists/dicts (it travels inside a ``scan`` node's
+  ``args``, so it must survive ``repr``-based structural comparison and
+  the session's snapshot/restore),
+- evaluates against an eager frame (sources filter each partition right
+  after reading it),
+- evaluates against partition *statistics* (min/max from the metastore,
+  exact hive ``key=value`` values), which is what makes partition
+  pruning provable rather than heuristic.
+
+:func:`conjuncts_from_mask` is the bridge from the graph world: it
+converts a filter's mask subgraph into conjuncts when -- and only when --
+the whole mask is expressible, so folding a filter into a scan never
+changes its semantics.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Set
+
+#: comparison ops a conjunct may carry (plus "between" and "isin").
+_COMPARISONS = {"<", "<=", ">", ">=", "==", "!="}
+
+#: mirror image used when a reflected binop (``5 > col``) is normalized.
+_FLIPPED = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "==", "!=": "!="}
+
+
+def _is_literal(value) -> bool:
+    """Values a conjunct may compare against (JSON-able scalars)."""
+    return isinstance(value, (int, float, str, bool)) or value is None
+
+
+class Predicate:
+    """An AND of simple column conjuncts, applied at the source boundary."""
+
+    def __init__(self, conjuncts: Sequence[dict]):
+        self.conjuncts: List[dict] = [dict(c) for c in conjuncts]
+
+    # -- serialization ----------------------------------------------------
+
+    @classmethod
+    def from_arg(cls, arg) -> Optional["Predicate"]:
+        """Rebuild from a ``scan`` node's ``args['predicate']`` (or None)."""
+        if not arg:
+            return None
+        return cls(arg)
+
+    def to_arg(self) -> List[dict]:
+        return [dict(c) for c in self.conjuncts]
+
+    def columns(self) -> Set[str]:
+        return {c["column"] for c in self.conjuncts}
+
+    # -- frame evaluation -------------------------------------------------
+
+    def mask(self, frame):
+        """Boolean eager series: rows of ``frame`` satisfying every
+        conjunct."""
+        combined = None
+        for conj in self.conjuncts:
+            part = _conjunct_mask(frame[conj["column"]], conj)
+            combined = part if combined is None else (combined & part)
+        return combined
+
+    def filter(self, frame):
+        mask = self.mask(frame)
+        if mask is None:
+            return frame
+        return frame[mask]
+
+    # -- statistics evaluation (partition pruning) ------------------------
+
+    def may_match(self, partition) -> bool:
+        """False only when the partition *provably* contains no matching
+        row: every row fails some conjunct given the partition's exact
+        hive key values or exact column min/max.  Missing statistics
+        always answer True (never prune on a guess)."""
+        for conj in self.conjuncts:
+            column = conj["column"]
+            if column in partition.key_values:
+                if not _scalar_matches(partition.key_values[column], conj):
+                    return False
+                continue
+            lo = partition.min_values.get(column)
+            hi = partition.max_values.get(column)
+            if lo is None or hi is None:
+                continue
+            if not _range_may_match(lo, hi, conj):
+                return False
+        return True
+
+    # -- rendering --------------------------------------------------------
+
+    def render(self) -> str:
+        """Compact text for ``explain()``: ``(fare>0 & state=='CA')``."""
+        parts = []
+        for conj in self.conjuncts:
+            op = conj["op"]
+            col = conj["column"]
+            if op == "between":
+                parts.append(f"{conj['low']!r}<={col}<={conj['high']!r}")
+            elif op == "isin":
+                parts.append(f"{col} in {list(conj['values'])!r}")
+            else:
+                parts.append(f"{col}{op}{conj['value']!r}")
+        return "(" + " & ".join(parts) + ")"
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Predicate {self.render()}>"
+
+
+def _conjunct_mask(series, conj: dict):
+    op = conj["op"]
+    if op == "between":
+        return series.between(
+            conj["low"], conj["high"], inclusive=conj.get("inclusive", "both")
+        )
+    if op == "isin":
+        return series.isin(list(conj["values"]))
+    value = conj["value"]
+    if op == "<":
+        return series < value
+    if op == "<=":
+        return series <= value
+    if op == ">":
+        return series > value
+    if op == ">=":
+        return series >= value
+    if op == "==":
+        return series == value
+    if op == "!=":
+        return series != value
+    raise ValueError(f"unknown predicate op {op!r}")
+
+
+def _scalar_matches(value, conj: dict) -> bool:
+    """Evaluate a conjunct against one exact value (a hive key)."""
+    op = conj["op"]
+    try:
+        if op == "between":
+            inclusive = conj.get("inclusive", "both")
+            low_ok = (value >= conj["low"]) if inclusive in ("both", "left") \
+                else (value > conj["low"])
+            high_ok = (value <= conj["high"]) if inclusive in ("both", "right") \
+                else (value < conj["high"])
+            return bool(low_ok and high_ok)
+        if op == "isin":
+            return value in set(conj["values"])
+        other = conj["value"]
+        return bool({
+            "<": value < other,
+            "<=": value <= other,
+            ">": value > other,
+            ">=": value >= other,
+            "==": value == other,
+            "!=": value != other,
+        }[op])
+    except TypeError:
+        return True  # incomparable types: never prune
+
+
+def _range_may_match(lo, hi, conj: dict) -> bool:
+    """Can any value in ``[lo, hi]`` satisfy the conjunct?"""
+    op = conj["op"]
+    try:
+        if op == "between":
+            inclusive = conj.get("inclusive", "both")
+            low, high = conj["low"], conj["high"]
+            if inclusive in ("both", "right"):
+                if lo > high:
+                    return False
+            elif lo >= high:
+                return False
+            if inclusive in ("both", "left"):
+                if hi < low:
+                    return False
+            elif hi <= low:
+                return False
+            return True
+        if op == "isin":
+            values = [v for v in conj["values"] if not isinstance(v, str)]
+            if len(values) != len(conj["values"]):
+                return True  # string membership: no numeric range proof
+            return any(lo <= v <= hi for v in values)
+        value = conj["value"]
+        return {
+            "<": lo < value,
+            "<=": lo <= value,
+            ">": hi > value,
+            ">=": hi >= value,
+            "==": lo <= value <= hi,
+            "!=": not (lo == hi == value),
+        }[op]
+    except TypeError:
+        return True  # incomparable types: never prune
+
+
+# ---------------------------------------------------------------------------
+# Mask-subgraph -> conjuncts conversion (used by the optimizer fold pass).
+# ---------------------------------------------------------------------------
+
+
+def conjuncts_from_mask(mask, source, aliases=()) -> Optional[List[dict]]:
+    """Convert a filter's mask expression into conjuncts, or ``None``.
+
+    ``mask`` is the filter node's second input; ``source`` the scan node
+    the filter would fold into (``aliases`` are identity nodes standing
+    for it).  The conversion is all-or-nothing: every leaf comparison
+    must read a column *directly off the source* and compare against a
+    plain literal.  Anything else -- derived columns, series-vs-series
+    comparisons, OR, negation -- returns ``None`` and the filter stays
+    in the graph.
+    """
+    accepted = {id(source)} | {id(a) for a in aliases}
+
+    def source_column(node) -> Optional[str]:
+        if node.op == "getitem_column" and node.inputs \
+                and id(node.inputs[0]) in accepted:
+            return node.args["column"]
+        return None
+
+    def convert(node) -> Optional[List[dict]]:
+        if node.op == "binop":
+            op = node.args.get("op")
+            if op == "&":
+                if len(node.inputs) != 2:
+                    return None
+                left = convert(node.inputs[0])
+                right = convert(node.inputs[1])
+                if left is None or right is None:
+                    return None
+                return left + right
+            if op in _COMPARISONS:
+                if len(node.inputs) != 1 or "right" not in node.args:
+                    return None  # series-vs-series: not foldable
+                column = source_column(node.inputs[0])
+                value = node.args["right"]
+                if column is None or not _is_literal(value):
+                    return None
+                if node.args.get("reflected"):
+                    op = _FLIPPED[op]
+                return [{"column": column, "op": op, "value": value}]
+            return None
+        if node.op == "between":
+            column = source_column(node.inputs[0])
+            low, high = node.args.get("left"), node.args.get("right")
+            if column is None or not (_is_literal(low) and _is_literal(high)):
+                return None
+            return [{
+                "column": column, "op": "between", "low": low, "high": high,
+                "inclusive": node.args.get("inclusive", "both"),
+            }]
+        if node.op == "isin":
+            column = source_column(node.inputs[0])
+            values = node.args.get("values")
+            if column is None or values is None \
+                    or not all(_is_literal(v) for v in values):
+                return None
+            return [{"column": column, "op": "isin", "values": list(values)}]
+        return None
+
+    return convert(mask)
+
+
+def merge_conjuncts(existing, new) -> List[dict]:
+    """Append ``new`` conjuncts onto an existing predicate arg,
+    dropping exact duplicates (repeated folds of equal filters)."""
+    out: List[dict] = [dict(c) for c in (existing or [])]
+    seen = {repr(sorted(c.items())) for c in out}
+    for conj in new:
+        key = repr(sorted(conj.items()))
+        if key not in seen:
+            seen.add(key)
+            out.append(dict(conj))
+    return out
+
+
+def required_read_columns(
+    columns: Optional[Sequence[str]],
+    predicate: Optional[Predicate],
+    schema: Sequence[str],
+) -> Optional[List[str]]:
+    """Physical columns a partition read needs: the projection plus any
+    predicate columns (filtered out again after the mask is applied).
+    ``None`` means the whole schema."""
+    if columns is None:
+        return None
+    needed = set(columns)
+    if predicate is not None:
+        needed |= predicate.columns()
+    return [c for c in schema if c in needed]

@@ -4,6 +4,10 @@ Importing this module as ``pd`` gives the paper's API:
 
 - ``pd.read_csv`` and friends return :class:`~repro.core.LazyFrame`s that
   build the task graph instead of executing,
+- ``pd.scan_csv`` / ``pd.scan_jsonl`` / ``pd.scan_dataset`` /
+  ``pd.from_pandas`` are the unified source-layer ingress
+  (:mod:`repro.io`): LazyFrames rooted at generic ``scan`` nodes the
+  optimizer folds projections and predicates *into*,
 - ``pd.analyze()`` triggers JIT static analysis of the calling program
   (section 2.4),
 - ``pd.flush()`` forces pending lazy prints (section 3.3).
@@ -51,6 +55,13 @@ from repro.core.lazyframe import LazyFrame, LazyObject, LazySeries
 from repro.core.session import Session, current_session, reset_root_session
 from repro.frame.io_csv import read_header
 from repro.graph.node import Node
+from repro.io.api import (
+    from_pandas,
+    scan_csv,
+    scan_dataset,
+    scan_jsonl,
+    scan_source,
+)
 
 __all__ = [
     "BACKEND_ENGINE",
@@ -65,12 +76,17 @@ __all__ = [
     "current_session",
     "describe_options",
     "flush",
+    "from_pandas",
     "get_option",
     "merge",
     "option_context",
     "options",
     "read_csv",
     "reset",
+    "scan_csv",
+    "scan_dataset",
+    "scan_jsonl",
+    "scan_source",
     "set_backend",
     "set_option",
     "to_datetime",
@@ -238,8 +254,20 @@ def read_csv(
     or the columns the program assigns (read-only = header minus
     mutated).  The runtime optimizer intersects them with metastore
     cardinality candidates to choose ``category`` dtypes safely.
+
+    When the session's ``workload.source_format`` option names another
+    physical format (the runner's ``--source-format`` axis) and the
+    sibling variant of ``path`` exists, the read is rerouted through the
+    matching scan source -- the program text stays pandas-verbatim while
+    the bytes come from JSONL or a hive-partitioned dataset.
     """
     session = current_session()
+    rerouted = _reroute_by_source_format(
+        session, path, usecols=usecols, dtype=dtype,
+        parse_dates=parse_dates, nrows=nrows, index_col=index_col,
+    )
+    if rerouted is not None:
+        return rerouted
     args = {"path": path}
     if usecols is not None:
         args["usecols"] = list(usecols)
@@ -265,6 +293,38 @@ def read_csv(
     except OSError:
         columns = None
     return LazyFrame(session.register(node), session, columns=columns)
+
+
+def _reroute_by_source_format(
+    session, path, usecols=None, dtype=None, parse_dates=None,
+    nrows=None, index_col=None,
+):
+    """Reroute a ``read_csv`` onto another physical format, or ``None``.
+
+    Only fires when ``workload.source_format`` names a non-CSV format
+    AND the sibling variant exists on disk (see
+    :func:`repro.io.api.sibling_variant`); a missing variant falls back
+    to the plain CSV read rather than failing the program.
+    """
+    fmt = session.get_option("workload.source_format")
+    if fmt in (None, "csv"):
+        return None
+    from repro.io.api import sibling_variant
+
+    variant = sibling_variant(path, fmt)
+    if variant is None:
+        return None
+    if fmt == "jsonl":
+        return scan_jsonl(
+            variant, usecols=usecols, dtype=dtype,
+            parse_dates=parse_dates, nrows=nrows, index_col=index_col,
+        )
+    if nrows is not None:
+        return None  # a dataset scan has no row limit; stay on CSV
+    return scan_dataset(
+        variant, usecols=usecols, dtype=dtype,
+        parse_dates=parse_dates, index_col=index_col,
+    )
 
 
 def DataFrame(data) -> LazyFrame:

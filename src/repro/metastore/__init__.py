@@ -8,7 +8,18 @@ backend and to choose ``category`` dtype for low-cardinality read-only
 string columns.
 """
 
-from repro.metastore.stats import ColumnStats, FileMetadata, compute_metadata
+from repro.metastore.stats import (
+    ColumnStats,
+    FileMetadata,
+    PartitionStats,
+    compute_metadata,
+)
 from repro.metastore.store import MetaStore
 
-__all__ = ["ColumnStats", "FileMetadata", "MetaStore", "compute_metadata"]
+__all__ = [
+    "ColumnStats",
+    "FileMetadata",
+    "MetaStore",
+    "PartitionStats",
+    "compute_metadata",
+]

@@ -11,13 +11,21 @@ a sample (the paper computes stats from a sample, types from the full file
 - average encoded width (bytes),
 
 plus file-level row count, average row size, and modified time.
+
+Partitioned reads get their own layer: passing ``partition_ranges``
+(the byte ranges a :class:`~repro.io.csv_source.CsvSource` or
+:class:`~repro.io.jsonl.JsonlSource` will scan) records one
+:class:`PartitionStats` per range.  Unlike the file-level sample, each
+partition is read *in full*: its min/max feed partition pruning, which
+must be a proof, not an estimate.  ``fmt="jsonl"`` switches the reader
+for newline-delimited JSON files.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -58,6 +66,31 @@ class ColumnStats:
 
 
 @dataclasses.dataclass
+class PartitionStats:
+    """Exact statistics of one byte-range partition of a file.
+
+    ``min_values`` / ``max_values`` cover every row of the range (the
+    partition is read in full when these are computed), so the pruning
+    pass may treat them as proof of emptiness.
+    """
+
+    index: int
+    start: int
+    end: int
+    n_rows: int
+    n_bytes: int
+    min_values: Dict[str, float] = dataclasses.field(default_factory=dict)
+    max_values: Dict[str, float] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionStats":
+        return cls(**data)
+
+
+@dataclasses.dataclass
 class FileMetadata:
     """Everything the metastore knows about one file."""
 
@@ -67,6 +100,10 @@ class FileMetadata:
     row_size: float
     columns: Dict[str, ColumnStats]
     sampled: bool
+    #: per-partition exact stats (empty unless computed with
+    #: ``partition_ranges``); matched back to live byte ranges by the
+    #: sources, so stale chunking is ignored rather than mis-applied.
+    partitions: List[PartitionStats] = dataclasses.field(default_factory=list)
 
     def dtype_hints(self, read_only_columns: Optional[List[str]] = None) -> Dict[str, str]:
         """dtype mapping for ``read_csv`` (section 3.6).
@@ -104,6 +141,7 @@ class FileMetadata:
             "row_size": self.row_size,
             "sampled": self.sampled,
             "columns": {k: v.to_dict() for k, v in self.columns.items()},
+            "partitions": [p.to_dict() for p in self.partitions],
         }
 
     @classmethod
@@ -117,15 +155,28 @@ class FileMetadata:
             columns={
                 k: ColumnStats.from_dict(v) for k, v in data["columns"].items()
             },
+            partitions=[
+                PartitionStats.from_dict(p)
+                for p in data.get("partitions", [])
+            ],
         )
 
 
-def compute_metadata(path: str, sample_rows: Optional[int] = 10_000) -> FileMetadata:
+def compute_metadata(
+    path: str,
+    sample_rows: Optional[int] = 10_000,
+    fmt: str = "csv",
+    partition_ranges: Optional[Sequence[Tuple[int, int]]] = None,
+) -> FileMetadata:
     """Scan ``path`` and compute :class:`FileMetadata`.
 
     This is the "script run on the file" of section 3.6; the benchmark
-    runner executes it as a background/setup task.
+    runner executes it as a background/setup task.  ``partition_ranges``
+    additionally records exact per-range :class:`PartitionStats` (each
+    range read in full -- pruning needs proof, see the module docstring).
     """
+    if fmt == "jsonl":
+        return _compute_jsonl_metadata(path, sample_rows, partition_ranges)
     header = read_header(path)
     frame = read_csv(path, nrows=sample_rows)
     sampled = sample_rows is not None and len(frame) >= sample_rows
@@ -134,25 +185,13 @@ def compute_metadata(path: str, sample_rows: Optional[int] = 10_000) -> FileMeta
     if sampled:
         n_rows = _estimate_total_rows(path, len(frame))
 
-    columns: Dict[str, ColumnStats] = {}
-    for name in header:
-        col = frame.column(name)
-        stats = ColumnStats(name=name, dtype=_dtype_name(col))
-        sample_n = max(1, len(col))
-        stats.distinct = col.nunique()
-        if sampled and stats.distinct > sample_n * 0.5:
-            # High-cardinality in the sample: extrapolate linearly.
-            stats.distinct = int(stats.distinct * n_rows / sample_n)
-        stats.selectivity = min(1.0, stats.distinct / max(1, n_rows))
-        stats.avg_width = col.nbytes / sample_n
-        if not col.is_category and col.values.dtype.kind in "if":
-            vals = col.values
-            if vals.dtype.kind == "f":
-                vals = vals[~np.isnan(vals)]
-            if len(vals):
-                stats.min_value = float(vals.min())
-                stats.max_value = float(vals.max())
-        columns[name] = stats
+    columns = _column_stats(frame, header, n_rows, sampled)
+    partitions: List[PartitionStats] = []
+    if partition_ranges:
+        partitions = _partition_stats(
+            partition_ranges,
+            lambda rng: read_csv(path, byte_range=rng),
+        )
 
     row_size = sum(s.avg_width for s in columns.values())
     return FileMetadata(
@@ -162,7 +201,95 @@ def compute_metadata(path: str, sample_rows: Optional[int] = 10_000) -> FileMeta
         row_size=row_size,
         columns=columns,
         sampled=sampled,
+        partitions=partitions,
     )
+
+
+def _compute_jsonl_metadata(
+    path: str,
+    sample_rows: Optional[int],
+    partition_ranges: Optional[Sequence[Tuple[int, int]]],
+) -> FileMetadata:
+    # Deferred import: repro.io imports this module for PartitionStats.
+    from repro.io.jsonl import read_jsonl
+
+    frame = read_jsonl(path, nrows=sample_rows)
+    sampled = sample_rows is not None and len(frame) >= sample_rows
+    n_rows = len(frame)
+    if sampled:
+        n_rows = _estimate_total_rows(path, len(frame), has_header=False)
+    columns = _column_stats(frame, frame.columns, n_rows, sampled)
+    partitions: List[PartitionStats] = []
+    if partition_ranges:
+        partitions = _partition_stats(
+            partition_ranges,
+            lambda rng: read_jsonl(path, byte_range=rng),
+        )
+    row_size = sum(s.avg_width for s in columns.values())
+    return FileMetadata(
+        path=os.path.abspath(path),
+        mtime=os.path.getmtime(path),
+        n_rows=n_rows,
+        row_size=row_size,
+        columns=columns,
+        sampled=sampled,
+        partitions=partitions,
+    )
+
+
+def _column_stats(frame, names, n_rows: int, sampled: bool) -> Dict[str, ColumnStats]:
+    columns: Dict[str, ColumnStats] = {}
+    for name in names:
+        col = frame.column(name)
+        stats = ColumnStats(name=name, dtype=_dtype_name(col))
+        sample_n = max(1, len(col))
+        stats.distinct = col.nunique()
+        if sampled and stats.distinct > sample_n * 0.5:
+            # High-cardinality in the sample: extrapolate linearly.
+            stats.distinct = int(stats.distinct * n_rows / sample_n)
+        stats.selectivity = min(1.0, stats.distinct / max(1, n_rows))
+        stats.avg_width = col.nbytes / sample_n
+        low, high = _column_minmax(col)
+        stats.min_value, stats.max_value = low, high
+        columns[name] = stats
+    return columns
+
+
+def _column_minmax(col):
+    if not col.is_category and col.values.dtype.kind in "if":
+        vals = col.values
+        if vals.dtype.kind == "f":
+            vals = vals[~np.isnan(vals)]
+        if len(vals):
+            return float(vals.min()), float(vals.max())
+    return None, None
+
+
+def _partition_stats(ranges, read_range) -> List[PartitionStats]:
+    """Exact stats per byte range: each range is read in full, so the
+    recorded min/max are pruning-grade proof, not estimates."""
+    out: List[PartitionStats] = []
+    for index, rng in enumerate(ranges):
+        start, end = int(rng[0]), int(rng[1])
+        piece = read_range((start, end))
+        mins: Dict[str, float] = {}
+        maxs: Dict[str, float] = {}
+        for name in piece.columns:
+            low, high = _column_minmax(piece.column(name))
+            if low is not None:
+                mins[name] = low
+            if high is not None:
+                maxs[name] = high
+        out.append(PartitionStats(
+            index=index,
+            start=start,
+            end=end,
+            n_rows=len(piece),
+            n_bytes=int(piece.nbytes),
+            min_values=mins,
+            max_values=maxs,
+        ))
+    return out
 
 
 def _dtype_name(col) -> str:
@@ -178,11 +305,14 @@ def _dtype_name(col) -> str:
     }.get(kind, str(col.values.dtype))
 
 
-def _estimate_total_rows(path: str, sampled_rows: int) -> int:
+def _estimate_total_rows(
+    path: str, sampled_rows: int, has_header: bool = True
+) -> int:
     """Estimate the file's row count from its byte size and a sample."""
     size = os.path.getsize(path)
     with open(path, "rb") as f:
-        f.readline()
+        if has_header:
+            f.readline()
         data_start = f.tell()
         read = 0
         lines = 0

@@ -53,19 +53,38 @@ class MetaStore:
             json.dump(meta.to_dict(), f)
 
     def compute_and_store(
-        self, data_path: str, sample_rows: Optional[int] = 10_000
+        self,
+        data_path: str,
+        sample_rows: Optional[int] = 10_000,
+        fmt: str = "csv",
+        partition_ranges=None,
     ) -> FileMetadata:
-        """Run the metadata script on ``data_path`` and persist the result."""
-        meta = compute_metadata(data_path, sample_rows=sample_rows)
+        """Run the metadata script on ``data_path`` and persist the result.
+
+        ``partition_ranges`` records exact per-partition statistics (see
+        :func:`repro.metastore.stats.compute_metadata`); ``fmt`` selects
+        the reader (``csv`` / ``jsonl``).
+        """
+        meta = compute_metadata(
+            data_path, sample_rows=sample_rows, fmt=fmt,
+            partition_ranges=partition_ranges,
+        )
         self.put(meta)
         return meta
 
     def get_or_compute(
-        self, data_path: str, sample_rows: Optional[int] = 10_000
+        self,
+        data_path: str,
+        sample_rows: Optional[int] = 10_000,
+        fmt: str = "csv",
+        partition_ranges=None,
     ) -> FileMetadata:
         meta = self.get(data_path)
         if meta is None:
-            meta = self.compute_and_store(data_path, sample_rows=sample_rows)
+            meta = self.compute_and_store(
+                data_path, sample_rows=sample_rows, fmt=fmt,
+                partition_ranges=partition_ranges,
+            )
         return meta
 
     def invalidate(self, data_path: str) -> None:

@@ -31,11 +31,13 @@ def _cmd_list(_args) -> int:
 def _cmd_run(args) -> int:
     runner = Runner(base_rows=args.rows, enforce_budget=not args.no_budget)
     result = runner.run(args.program, args.mode, args.size,
-                        strategy=args.strategy)
+                        strategy=args.strategy,
+                        source_format=args.source_format)
     status = "ok" if result.ok else f"FAILED ({result.error})"
     print(f"{result.label}: {status}")
     print(f"  time: {result.seconds:.3f}s  peak: {result.peak_bytes / 1e6:.2f} MB"
-          f"  strategy: {result.strategy}")
+          f"  strategy: {result.strategy}"
+          f"  source: {result.source_format or 'csv'}")
     if result.result_hash:
         print(f"  result md5: {result.result_hash}")
     if args.stats:
@@ -98,6 +100,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--strategy", choices=["serial", "threaded", "fused"], default=None,
         help="executor.strategy for the cell (default: session default)",
+    )
+    run.add_argument(
+        "--source-format", choices=["csv", "jsonl", "dataset"], default=None,
+        help="physical source format: generates the matching dataset "
+             "variant and reroutes the program's reads through the scan "
+             "source layer (lafp modes)",
     )
     run.add_argument(
         "--stats", action="store_true",

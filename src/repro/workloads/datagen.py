@@ -14,12 +14,18 @@ optimizations matter:
 All generators are deterministic (seeded per dataset) and parameterized
 by row count; the runner scales S : M : L as 1 : 3 : 9 like the paper's
 1.4 : 4.2 : 12.6 GB.
+
+Every dataset can additionally be emitted as *source-format variants*
+next to its CSV (the runner's ``--source-format`` axis): a JSONL sibling
+(``taxi.jsonl``) and a hive-partitioned directory sibling
+(``taxi_hive/payment_type=1/part-0.csv`` ...) partitioned on the
+dataset's natural low-cardinality column (:data:`PARTITION_KEYS`).
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, List
+from typing import Callable, Dict, Iterable, List
 
 import numpy as np
 
@@ -27,6 +33,22 @@ from repro.frame import DataFrame
 
 #: rows for the "S" size of each dataset; M = 3x, L = 9x.
 BASE_ROWS = 12_000
+
+#: dataset -> the low-cardinality column its hive variant partitions on.
+PARTITION_KEYS: Dict[str, str] = {
+    "taxi": "payment_type",
+    "ratings": "device",
+    "movies": "genre",
+    "startups": "stage",
+    "employees": "dept",
+    "vessels": "status",
+    "cities": "state",
+    "ops": "service",
+    "sensors": "station",
+    "orders": "qty",
+    "items": "cuisine",
+    "zips": "state",
+}
 
 _GENERATORS: Dict[str, Callable[[str, int], None]] = {}
 
@@ -39,12 +61,46 @@ def dataset(name: str):
     return register
 
 
-def generate(name: str, directory: str, rows: int) -> str:
-    """Generate dataset ``name`` with ~``rows`` rows into ``directory``."""
+def generate(
+    name: str,
+    directory: str,
+    rows: int,
+    variants: Iterable[str] = (),
+) -> str:
+    """Generate dataset ``name`` with ~``rows`` rows into ``directory``.
+
+    ``variants`` additionally emits sibling copies in other physical
+    formats (``"jsonl"`` / ``"dataset"``) for the source-format axis.
+    """
     os.makedirs(directory, exist_ok=True)
     path = os.path.join(directory, f"{name}.csv")
     _GENERATORS[name](path, rows)
+    for fmt in variants:
+        generate_variant(name, directory, fmt)
     return path
+
+
+def generate_variant(name: str, directory: str, fmt: str) -> str:
+    """Emit the ``fmt`` sibling of an already generated CSV.
+
+    Naming matches :func:`repro.io.api.sibling_variant`, which is how
+    the facade's ``read_csv`` finds the variant when
+    ``workload.source_format`` reroutes a program's reads.
+    """
+    from repro.frame.io_csv import read_csv
+    from repro.io import write_dataset, write_jsonl
+
+    csv_path = os.path.join(directory, f"{name}.csv")
+    frame = read_csv(csv_path)
+    if fmt == "jsonl":
+        out = os.path.join(directory, f"{name}.jsonl")
+        write_jsonl(frame, out)
+        return out
+    if fmt == "dataset":
+        out = os.path.join(directory, f"{name}_hive")
+        write_dataset(frame, out, partition_on=PARTITION_KEYS[name])
+        return out
+    raise ValueError(f"unknown source-format variant {fmt!r}")
 
 
 def generate_all(directory: str, rows: int = BASE_ROWS) -> List[str]:

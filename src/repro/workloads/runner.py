@@ -176,6 +176,8 @@ class RunResult:
     stdout: str = ""
     #: the ``executor.strategy`` the cell ran under.
     strategy: Optional[str] = None
+    #: the physical source format the cell's reads targeted (None = csv).
+    source_format: Optional[str] = None
     #: scheduler stats of the cell's last execution (lafp modes only):
     #: per-node wall time, queue wait, bytes, fusion/throttle counters.
     execution_stats: Optional[dict] = None
@@ -207,6 +209,8 @@ class Runner:
         self.enforce_budget = enforce_budget
         self.metastore = MetaStore(os.path.join(self.workdir, "metastore"))
         self._generated: Dict[str, set] = {}
+        #: (dataset, fmt) variant pairs already emitted, per size.
+        self._variants: Dict[str, set] = {}
         #: serializes dataset generation so concurrent cells hitting an
         #: unprepared size never interleave writes to the same CSV.
         self._prepare_lock = threading.Lock()
@@ -216,8 +220,18 @@ class Runner:
     def data_dir(self, size: str) -> str:
         return os.path.join(self.workdir, f"data_{size}")
 
-    def prepare(self, sizes: Iterable[str] = ("S",), programs=None) -> None:
+    def prepare(
+        self,
+        sizes: Iterable[str] = ("S",),
+        programs=None,
+        variants: Iterable[str] = (),
+    ) -> None:
         """Generate datasets (and metadata) for the requested sizes.
+
+        ``variants`` additionally emits source-format siblings (JSONL /
+        hive dataset) with *exact* per-partition statistics in the
+        metastore -- unsampled min/max is what makes partition pruning a
+        proof rather than a guess.
 
         Thread-safe: concurrent cells requesting the same size serialize
         here, so a dataset is generated exactly once and never read
@@ -234,6 +248,36 @@ class Runner:
                     # Metadata computation is the paper's background task.
                     self.metastore.compute_and_store(path, sample_rows=2_000)
                     done.add(name)
+                done_variants = self._variants.setdefault(size, set())
+                for name in sorted(names):
+                    for fmt in sorted(set(variants)):
+                        if fmt == "csv" or (name, fmt) in done_variants:
+                            continue
+                        path = datagen.generate_variant(
+                            name, self.data_dir(size), fmt
+                        )
+                        self._store_variant_metadata(path, fmt)
+                        done_variants.add((name, fmt))
+
+    def _store_variant_metadata(self, path: str, fmt: str) -> None:
+        """Exact (unsampled) statistics for a source-format variant.
+
+        JSONL files get per-byte-range :class:`PartitionStats` over the
+        exact ranges the source will scan; hive dataset leaves get
+        per-leaf metadata (unsampled, so leaf min/max count as pruning
+        proof for payload-column predicates)."""
+        if fmt == "jsonl":
+            from repro.io import JsonlSource
+
+            ranges = [p.byte_range for p in JsonlSource(path).partitions()]
+            self.metastore.compute_and_store(
+                path, sample_rows=None, fmt="jsonl", partition_ranges=ranges
+            )
+        else:
+            from repro.io import DatasetSource
+
+            for part in DatasetSource(path).partitions():
+                self.metastore.compute_and_store(part.path, sample_rows=None)
 
     def dataset_bytes(self, program: str, size: str) -> int:
         total = 0
@@ -268,6 +312,7 @@ class Runner:
         flag_overrides: Optional[Dict[str, bool]] = None,
         options: Optional[Dict[str, object]] = None,
         strategy: Optional[str] = None,
+        source_format: Optional[str] = None,
     ) -> RunResult:
         """Execute one cell of the evaluation grid.
 
@@ -277,7 +322,12 @@ class Runner:
         flag state leaks between cells.  ``options`` takes dotted keys
         (``{"executor.cache": False}``); ``flag_overrides`` accepts the
         legacy flag names and is kept for older harnesses; ``strategy``
-        is shorthand for ``{"executor.strategy": ...}``.  Dataset and
+        is shorthand for ``{"executor.strategy": ...}``;
+        ``source_format`` (``csv`` / ``jsonl`` / ``dataset``) prepares
+        the matching dataset variants and sets
+        ``workload.source_format`` so the facade reroutes the program's
+        ``pd.read_csv`` calls through the scan source layer (lafp modes
+        only -- baseline modes read the plain CSV regardless).  Dataset and
         result paths, the memory budget, and the stdout capture travel
         on the cell's session (``workload.*`` / ``memory.budget``
         options, session-routed capture) rather than process env vars,
@@ -287,7 +337,8 @@ class Runner:
         if mode not in _HEADERS:
             raise ValueError(f"unknown mode {mode!r}; choose from {MODES}")
         spec = PROGRAMS[program]
-        self.prepare([size], programs=[program])
+        variants = [source_format] if source_format not in (None, "csv") else []
+        self.prepare([size], programs=[program], variants=variants)
 
         source = _HEADERS[mode] + spec.body_for(
             "dask" if mode == "dask" else "pandas"
@@ -302,6 +353,8 @@ class Runner:
         overrides.update(options or {})
         if strategy is not None:
             overrides["executor.strategy"] = strategy
+        if source_format is not None:
+            overrides.setdefault("workload.source_format", source_format)
         overrides.setdefault("workload.data_dir", self.data_dir(size))
         overrides.setdefault("workload.result_dir", result_dir)
         overrides.setdefault("memory.budget", self.budget_for(program))
@@ -350,6 +403,7 @@ class Runner:
             # the requested strategy (threaded on a lazy engine -> serial).
             strategy=(exec_stats.effective_strategy if exec_stats
                       else requested_strategy),
+            source_format=source_format,
             execution_stats=exec_stats.to_dict() if exec_stats else None,
         )
 
@@ -359,13 +413,15 @@ class Runner:
         modes: Optional[List[str]] = None,
         sizes: Iterable[str] = ("S",),
         strategy: Optional[str] = None,
+        source_format: Optional[str] = None,
     ) -> List[RunResult]:
         out = []
         for size in sizes:
             for program in programs or sorted(PROGRAMS):
                 for mode in modes or MODES:
                     out.append(self.run(program, mode, size,
-                                        strategy=strategy))
+                                        strategy=strategy,
+                                        source_format=source_format))
         return out
 
     # -- plumbing -----------------------------------------------------------------

@@ -122,3 +122,45 @@ class TestSchedulerStrategies:
         # capture, not the other cell's
         assert results["nyt"].stdout.strip()
         assert results["nyt"].stdout != results["stu"].stdout
+
+
+class TestSourceFormats:
+    """The --source-format axis: same program, different physical bytes,
+    identical results -- with and without pushdown folding."""
+
+    @pytest.mark.parametrize("source_format", ["jsonl", "dataset"])
+    @pytest.mark.parametrize("program", ["cty", "stu"])
+    def test_variants_hash_identical_to_csv(
+        self, runner, program, source_format
+    ):
+        baseline = runner.run(program, "lafp_pandas", "S")
+        variant = runner.run(program, "lafp_pandas", "S",
+                             source_format=source_format)
+        assert baseline.ok and variant.ok, (baseline.error, variant.error)
+        assert variant.source_format == source_format
+        assert variant.result_hash == baseline.result_hash
+
+    @pytest.mark.parametrize("program", ["cty", "nyt", "stu"])
+    def test_pushdown_folding_equivalence_on_paper_workloads(
+        self, runner, program
+    ):
+        """Folding pushdown into the scan (and pruning on its stats)
+        must never change a paper workload's result."""
+        folded = runner.run(program, "lafp_pandas", "S",
+                            source_format="dataset")
+        ablated = runner.run(
+            program, "lafp_pandas", "S", source_format="dataset",
+            options={
+                "optimizer.predicate_pushdown": False,
+                "optimizer.partition_pruning": False,
+            },
+        )
+        assert folded.ok and ablated.ok, (folded.error, ablated.error)
+        assert folded.result_hash == ablated.result_hash
+
+    def test_dataset_variant_on_dask_backend(self, runner):
+        baseline = runner.run("cty", "lafp_dask", "S")
+        variant = runner.run("cty", "lafp_dask", "S",
+                             source_format="dataset")
+        assert baseline.ok and variant.ok, (baseline.error, variant.error)
+        assert variant.result_hash == baseline.result_hash

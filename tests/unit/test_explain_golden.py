@@ -4,13 +4,20 @@ The rendered plan is deterministic (topological renumbering, basename
 paths), so optimizer regressions show up as a plain text diff against
 the snapshots below: predicate pushdown moves the filter below the
 setitem, and projection pushdown narrows the read to the used columns.
+Scan nodes additionally render their negotiated contract -- folded-in
+projection columns, the pushed predicate, and ``partitions=read/total``
+once the pruning pass counted them.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 import repro.lazyfatpandas.pandas as lfp
 from repro.core.session import Session
+from repro.frame import DataFrame
+from repro.io import write_dataset
 
 
 @pytest.fixture
@@ -117,3 +124,91 @@ class TestExplainGolden:
             text = out.explain(optimized=False)
         assert "== raw plan ==" in text
         assert "== optimized plan ==" not in text
+
+
+# ---------------------------------------------------------------------------
+# Scan nodes: the folded-in contract must be visible in the plan.
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def sales_dataset(tmp_path):
+    """3-partition hive dataset with a deterministic basename."""
+    frame = DataFrame({
+        "region": np.array(
+            ["east"] * 4 + ["west"] * 4 + ["north"] * 4, dtype=object
+        ),
+        "amount": np.arange(12) * 10,
+        "qty": np.arange(12) % 3,
+    })
+    root = os.path.join(tmp_path, "sales_hive")
+    write_dataset(frame, root, partition_on="region")
+    return root
+
+
+def scan_pipeline(root):
+    df = lfp.scan_dataset(root)
+    return df[df.region == "east"][["amount"]]
+
+
+SCAN_RAW_PLAN = """\
+N1 scan(format='dataset', path=sales_hive)
+N2 getitem_column(column='region') <- [N1]
+N3 binop(op='==', reflected=False, right='east') <- [N2]
+N4 filter <- [N1,N3]
+N5 getitem_columns(columns=['amount']) <- [N4]"""
+
+# The filter folds into the scan (the source filters while reading), the
+# projection narrows the scan's output columns, and hive-key pruning
+# keeps 1 of the 3 region partitions.
+SCAN_OPTIMIZED_PLAN = """\
+N1 scan(format='dataset', path=sales_hive, columns=['amount'], predicate=(region=='east'), partitions=1/3)
+N2 identity <- [N1]
+N3 getitem_columns(columns=['amount']) <- [N2]"""
+
+# Ablated: the fold and the pruning are off; the filter stays a graph
+# node and the scan still reports how many partitions exist.
+SCAN_ABLATED_PLAN = """\
+N1 scan(format='dataset', path=sales_hive, partitions=3/3)
+N2 getitem_column(column='region') <- [N1]
+N3 binop(op='==', reflected=False, right='east') <- [N2]
+N4 filter <- [N1,N3]
+N5 getitem_columns(columns=['amount']) <- [N4]"""
+
+
+class TestScanGolden:
+    def test_scan_plan_with_folding_on(self, sales_dataset):
+        with Session(backend="pandas"):
+            out = scan_pipeline(sales_dataset)
+            raw, optimized = _sections(out.explain())
+        assert raw == SCAN_RAW_PLAN
+        assert optimized == SCAN_OPTIMIZED_PLAN
+
+    def test_scan_plan_with_folding_off(self, sales_dataset):
+        with Session(backend="pandas") as session:
+            out = scan_pipeline(sales_dataset)
+            with session.option_context(
+                "optimizer.predicate_pushdown", False,
+                "optimizer.projection_pushdown", False,
+                "optimizer.partition_pruning", False,
+            ):
+                raw, optimized = _sections(out.explain())
+        assert raw == SCAN_RAW_PLAN
+        assert optimized == SCAN_ABLATED_PLAN
+
+    def test_stats_section_reports_partitions(self, sales_dataset):
+        with Session(backend="pandas"):
+            out = scan_pipeline(sales_dataset)
+            collected = out.collect()
+            text = out.explain(stats=True)
+        assert "scan partitions read: 1/3" in text
+        assert collected.column("amount").to_array().tolist() == [0, 10, 20, 30]
+
+    def test_scan_explain_has_no_side_effects(self, sales_dataset):
+        with Session(backend="pandas"):
+            out = scan_pipeline(sales_dataset)
+            before = out.explain()
+            value = out.collect().column("amount").to_array().sum()
+            after = out.explain()
+        assert before == after
+        assert value == 60
