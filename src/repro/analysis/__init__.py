@@ -17,6 +17,9 @@ package is the from-scratch equivalent:
   and metadata/read-only hints.
 - :mod:`repro.analysis.jit` -- ``pd.analyze()``: reflection on the caller,
   rewrite, execute-optimized-instead (Figure 5).
+- :mod:`repro.analysis.plan` -- the same analyze-first budget applied to
+  the task graph: per-node schema inference, the ``AnalyzerRegistry`` of
+  lint rules (LFP001..), and the ``analysis.level`` collect gate.
 """
 
 from repro.analysis.jit import jit_analyze, optimize_source

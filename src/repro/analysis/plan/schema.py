@@ -1,0 +1,699 @@
+"""Forward schema inference over the task graph.
+
+Every :class:`~repro.graph.node.Node` gets a :class:`NodeSchema` -- the
+statically known shape of its output: frame/series/scalar kind, column
+names in order, per-column dtypes where sources (headers, ``dtype``
+args, metastore statistics) or the algebra itself (comparisons are
+bool, ``dt`` fields are ints) determine them, and the named index
+columns that ``set_index`` / ``groupby(as_index=True)`` introduce.
+
+The pass is a single forward walk in topological order with one
+*transfer function per operator* (:data:`SCHEMA_RULES`); results are
+memoized per node within the pass.  Inference is three-valued by
+design: anything not statically derivable degrades to *unknown*
+(``columns is None``), never to a guess -- lint rules only fire on known
+facts, and byte estimates fall back to their old heuristics.
+
+Coverage is enforced, not hoped for: :func:`infer_schema` raises
+``KeyError`` for an operator missing from :data:`SCHEMA_RULES`, and the
+test suite sweeps every op registered in :data:`repro.graph.node.OPS`,
+so a newly registered operator without schema semantics fails loudly.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.node import Node
+from repro.graph.taskgraph import topological_order
+
+#: kinds a node's output can have.
+FRAME, SERIES, SCALAR, UNKNOWN = "frame", "series", "scalar", "unknown"
+
+
+@dataclasses.dataclass(frozen=True)
+class NodeSchema:
+    """Statically known output shape of one node.
+
+    ``columns`` is ``None`` when unknown; for series it is the 1-tuple
+    of the series name (when known).  ``dtypes`` is always partial:
+    missing entries mean "not statically known", never "object".
+    ``index`` names the index columns (empty for the default range
+    index or when unknown).
+    """
+
+    kind: str = UNKNOWN
+    columns: Optional[Tuple[str, ...]] = None
+    dtypes: Tuple[Tuple[str, str], ...] = ()
+    index: Tuple[str, ...] = ()
+
+    # -- accessors ---------------------------------------------------------
+
+    @property
+    def known(self) -> bool:
+        return self.columns is not None
+
+    def dtype_of(self, column: str) -> Optional[str]:
+        for name, dtype in self.dtypes:
+            if name == column:
+                return dtype
+        return None
+
+    def dtype_map(self) -> Dict[str, str]:
+        return dict(self.dtypes)
+
+    def has_column(self, column: str) -> bool:
+        """Is ``column`` addressable (a data column or a named index)?"""
+        if self.columns is None:
+            return True  # unknown schema: never claim absence
+        return column in self.columns or column in self.index
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def frame(cls, columns: Optional[Sequence[str]],
+              dtypes: Optional[Dict[str, str]] = None,
+              index: Sequence[str] = ()) -> "NodeSchema":
+        cols = tuple(columns) if columns is not None else None
+        keep = tuple(sorted(
+            (k, v) for k, v in (dtypes or {}).items()
+            if cols is None or k in cols or k in tuple(index)
+        ))
+        return cls(kind=FRAME, columns=cols, dtypes=keep, index=tuple(index))
+
+    @classmethod
+    def series(cls, name: Optional[str] = None,
+               dtype: Optional[str] = None,
+               index: Sequence[str] = ()) -> "NodeSchema":
+        cols = (name,) if name is not None else None
+        dtypes = ((name, dtype),) if (name is not None and dtype) else ()
+        return cls(kind=SERIES, columns=cols, dtypes=dtypes,
+                   index=tuple(index))
+
+    @classmethod
+    def scalar(cls) -> "NodeSchema":
+        return cls(kind=SCALAR, columns=())
+
+    @classmethod
+    def unknown(cls, kind: str = UNKNOWN) -> "NodeSchema":
+        cached = _UNKNOWN_SCHEMAS.get(kind)
+        return cached if cached is not None else cls(kind=kind, columns=None)
+
+    @property
+    def series_name(self) -> Optional[str]:
+        if self.kind == SERIES and self.columns:
+            return self.columns[0]
+        return None
+
+    @property
+    def series_dtype(self) -> Optional[str]:
+        name = self.series_name
+        return self.dtype_of(name) if name is not None else None
+
+
+#: interned unknown schemas -- inference produces these constantly (the
+#: frozen dataclass is immutable, so sharing instances is safe).
+_UNKNOWN_SCHEMAS = {
+    kind: NodeSchema(kind=kind, columns=None)
+    for kind in (UNKNOWN, FRAME, SERIES, SCALAR)
+}
+
+#: dtype families for compatibility checks (merge keys) and widths.
+_NUMERIC_DTYPES = {"int64", "float64", "bool", "category"}
+
+
+def dtype_family(dtype: Optional[str]) -> Optional[str]:
+    """Coarse dtype family: ``numeric`` / ``datetime`` / ``string``."""
+    if dtype is None:
+        return None
+    if dtype in _NUMERIC_DTYPES or dtype.startswith(("int", "float", "uint")):
+        return "numeric"
+    if dtype.startswith("datetime"):
+        return "datetime"
+    if dtype in ("object", "str", "string"):
+        return "string"
+    return None
+
+
+def normalize_dtype(dtype: object) -> Optional[str]:
+    """Map a numpy/user dtype spec onto the metastore's logical names."""
+    if dtype is None:
+        return None
+    if isinstance(dtype, str):
+        return dtype
+    kind = getattr(dtype, "kind", None)
+    if kind is None:
+        kind = getattr(getattr(dtype, "dtype", None), "kind", None)
+    return {
+        "i": "int64", "u": "int64", "f": "float64", "b": "bool",
+        "M": "datetime64[ns]", "O": "object", "U": "object", "S": "object",
+    }.get(kind, str(dtype) if kind else None)
+
+
+# ---------------------------------------------------------------------------
+# The inference pass.
+# ---------------------------------------------------------------------------
+
+TransferFn = Callable[[Node, List[NodeSchema], "SchemaContext"], NodeSchema]
+
+#: operator name -> transfer function; every op in OPS must be covered.
+SCHEMA_RULES: Dict[str, TransferFn] = {}
+
+
+def schema_rule(*ops: str) -> Callable[[TransferFn], TransferFn]:
+    def register(fn: TransferFn) -> TransferFn:
+        for op in ops:
+            SCHEMA_RULES[op] = fn
+        return fn
+    return register
+
+
+class SchemaContext:
+    """Pass-wide state: the session's metastore and a per-path source
+    schema cache (resolving a source may touch the filesystem once)."""
+
+    def __init__(self, session=None):
+        self.session = session
+        self.metastore = getattr(session, "metastore", None)
+        self._source_cache: Dict[Tuple[str, str], Optional[List[str]]] = {}
+
+    def source_schema(self, args: dict) -> Optional[List[str]]:
+        key = (str(args.get("format")), str(args.get("path")))
+        if key not in self._source_cache:
+            try:
+                from repro.io.registry import resolve_source
+
+                source = resolve_source(args, metastore=self.metastore)
+                self._source_cache[key] = list(source.schema())
+            except Exception:  # noqa: BLE001 - missing file, bad format
+                self._source_cache[key] = None
+        return self._source_cache[key]
+
+    def file_dtypes(self, path: Optional[str]) -> Dict[str, str]:
+        if path is None or self.metastore is None:
+            return {}
+        try:
+            meta = self.metastore.get(path)
+        except Exception:  # noqa: BLE001 - unreadable store entry
+            return {}
+        if meta is None:
+            return {}
+        return {name: stats.dtype for name, stats in meta.columns.items()}
+
+
+def infer_schemas(
+    order: Sequence[Node], session=None
+) -> Dict[int, NodeSchema]:
+    """Schema per node id for a topologically ordered node sequence.
+
+    The canonical entry point for analyzer rules and for
+    :mod:`repro.graph.scheduler.estimates`: one forward pass, memoized
+    per node, unknown-on-doubt.
+    """
+    ctx = SchemaContext(session)
+    schemas: Dict[int, NodeSchema] = {}
+    for node in order:
+        schemas[node.id] = infer_schema(node, schemas, ctx)
+    return schemas
+
+
+def infer_schemas_for_roots(
+    roots: Sequence[Node], session=None
+) -> Dict[int, NodeSchema]:
+    return infer_schemas(topological_order(list(roots)), session)
+
+
+def infer_schema(
+    node: Node, schemas: Dict[int, NodeSchema], ctx: SchemaContext
+) -> NodeSchema:
+    """Transfer one node; raises ``KeyError`` on an uncovered operator
+    (the coverage sweep in the tests keeps this total over OPS)."""
+    rule = SCHEMA_RULES[node.op]
+    inputs = [
+        schemas.get(inp.id, NodeSchema.unknown()) for inp in node.inputs
+    ]
+    try:
+        return rule(node, inputs, ctx)
+    except Exception:  # noqa: BLE001 - inference must never break a plan
+        return NodeSchema.unknown()
+
+
+def _first(inputs: List[NodeSchema]) -> NodeSchema:
+    return inputs[0] if inputs else NodeSchema.unknown()
+
+
+def _columns_arg(node: Node, key: str) -> Optional[List[str]]:
+    value = node.args.get(key)
+    if value is None:
+        return None
+    return [value] if isinstance(value, str) else list(value)
+
+
+# -- sources ----------------------------------------------------------------
+
+
+#: (path, mtime_ns, size) -> header columns.  Analysis re-runs on every
+#: computation under the ``analysis.level`` gate; without this each pass
+#: would re-read the same CSV headers from disk.  Keyed by file identity
+#: so an overwritten file invalidates naturally; bounded by eviction.
+_HEADER_CACHE: Dict[Tuple[str, int, int], Tuple[str, ...]] = {}
+_HEADER_CACHE_MAX = 256
+
+
+def _cached_header(path) -> Optional[Tuple[str, ...]]:
+    from repro.frame.io_csv import read_header
+
+    try:
+        stat = os.stat(path)
+    except (OSError, TypeError):
+        return None
+    key = (str(path), stat.st_mtime_ns, stat.st_size)
+    cached = _HEADER_CACHE.get(key)
+    if cached is None:
+        try:
+            cached = tuple(read_header(path))
+        except (OSError, TypeError):
+            return None
+        if len(_HEADER_CACHE) >= _HEADER_CACHE_MAX:
+            _HEADER_CACHE.clear()
+        _HEADER_CACHE[key] = cached
+    return cached
+
+
+@schema_rule("read_csv")
+def _read_csv_schema(node, inputs, ctx) -> NodeSchema:
+    path = node.args.get("path")
+    header = _cached_header(path)
+    if header is None:
+        return NodeSchema.unknown(FRAME)
+    columns = list(header)
+    if node.args.get("usecols") is not None:
+        wanted = set(node.args["usecols"])
+        columns = [c for c in columns if c in wanted]
+    dtypes = ctx.file_dtypes(path)
+    for name, spec in (node.args.get("dtype") or {}).items():
+        norm = normalize_dtype(spec)
+        if norm:
+            dtypes[name] = norm
+    for name in node.args.get("parse_dates") or ():
+        dtypes[name] = "datetime64[ns]"
+    index: Tuple[str, ...] = ()
+    index_col = node.args.get("index_col")
+    if index_col is not None and index_col in columns:
+        columns = [c for c in columns if c != index_col]
+        index = (index_col,)
+    return NodeSchema.frame(columns, dtypes, index=index)
+
+
+@schema_rule("scan")
+def _scan_schema(node, inputs, ctx) -> NodeSchema:
+    schema = ctx.source_schema(node.args)
+    if schema is None:
+        return NodeSchema.unknown(FRAME)
+    columns = list(schema)
+    if node.args.get("columns") is not None:
+        wanted = set(node.args["columns"])
+        columns = [c for c in columns if c in wanted]
+    dtypes = ctx.file_dtypes(node.args.get("path"))
+    for name, spec in (node.args.get("dtype") or {}).items():
+        norm = normalize_dtype(spec)
+        if norm:
+            dtypes[name] = norm
+    for name in node.args.get("parse_dates") or ():
+        dtypes[name] = "datetime64[ns]"
+    return NodeSchema.frame(columns, dtypes)
+
+
+@schema_rule("from_pandas", "from_data")
+def _from_payload_schema(node, inputs, ctx) -> NodeSchema:
+    payload = node.args.get("frame")
+    if payload is None:
+        payload = node.args.get("data")
+    if payload is None:
+        return NodeSchema.unknown(FRAME)
+    if isinstance(payload, dict):
+        dtypes = {}
+        for name, values in payload.items():
+            norm = normalize_dtype(getattr(values, "dtype", None))
+            if norm:
+                dtypes[name] = norm
+        return NodeSchema.frame(list(payload), dtypes)
+    columns = getattr(payload, "columns", None)
+    if columns is None:
+        return NodeSchema.unknown(FRAME)
+    raw = getattr(payload, "dtypes", None)
+    dtypes = {}
+    if isinstance(raw, dict):
+        for name, spec in raw.items():
+            norm = normalize_dtype(spec)
+            if norm:
+                dtypes[name] = norm
+    return NodeSchema.frame(list(columns), dtypes)
+
+
+# -- row-preserving frame passthrough ---------------------------------------
+
+
+@schema_rule(
+    "identity", "filter", "fillna", "dropna", "sort_values", "sort_index",
+    "drop_duplicates", "round", "abs", "head", "tail", "sample",
+    "nlargest", "nsmallest",
+)
+def _passthrough_schema(node, inputs, ctx) -> NodeSchema:
+    return _first(inputs)
+
+
+@schema_rule("getitem_column")
+def _getitem_column_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    name = node.args["column"]
+    return NodeSchema.series(name, frame.dtype_of(name), index=frame.index)
+
+
+@schema_rule("getitem_columns")
+def _getitem_columns_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    wanted = list(node.args["columns"])
+    return NodeSchema.frame(wanted, frame.dtype_map(), index=frame.index)
+
+
+@schema_rule("setitem")
+def _setitem_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    if not frame.known:
+        return NodeSchema.unknown(FRAME)
+    name = node.args["column"]
+    columns = list(frame.columns)
+    if name not in columns:
+        columns.append(name)
+    dtypes = frame.dtype_map()
+    dtypes.pop(name, None)
+    if len(node.inputs) > 1:
+        value_dtype = inputs[1].series_dtype
+        if value_dtype:
+            dtypes[name] = value_dtype
+    else:
+        value = node.args.get("value")
+        if isinstance(value, bool):
+            dtypes[name] = "bool"
+        elif isinstance(value, int):
+            dtypes[name] = "int64"
+        elif isinstance(value, float):
+            dtypes[name] = "float64"
+        elif isinstance(value, str):
+            dtypes[name] = "object"
+    return NodeSchema.frame(columns, dtypes, index=frame.index)
+
+
+@schema_rule("astype")
+def _astype_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    spec = node.args.get("dtype")
+    if not frame.known or not isinstance(spec, dict):
+        return frame
+    dtypes = frame.dtype_map()
+    for name, target in spec.items():
+        norm = normalize_dtype(target)
+        if norm:
+            dtypes[name] = norm
+    return NodeSchema.frame(frame.columns, dtypes, index=frame.index)
+
+
+@schema_rule("rename")
+def _rename_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    if not frame.known:
+        return frame
+    mapping = node.args.get("columns", {})
+    columns = [mapping.get(c, c) for c in frame.columns]
+    dtypes = {mapping.get(k, k): v for k, v in frame.dtypes}
+    index = tuple(mapping.get(c, c) for c in frame.index)
+    return NodeSchema.frame(columns, dtypes, index=index)
+
+
+@schema_rule("drop")
+def _drop_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    if not frame.known:
+        return frame
+    dropped = set(node.args.get("columns", []))
+    columns = [c for c in frame.columns if c not in dropped]
+    return NodeSchema.frame(columns, frame.dtype_map(), index=frame.index)
+
+
+@schema_rule("set_index")
+def _set_index_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    if not frame.known:
+        return frame
+    name = node.args["column"]
+    columns = [c for c in frame.columns if c != name]
+    return NodeSchema.frame(columns, frame.dtype_map(), index=(name,))
+
+
+@schema_rule("reset_index")
+def _reset_index_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    if not frame.known:
+        return NodeSchema.unknown(FRAME)
+    if node.args.get("drop"):
+        return NodeSchema.frame(frame.columns, frame.dtype_map())
+    if frame.kind == SERIES:
+        # a reset series becomes a frame of index columns + the values.
+        if not frame.index:
+            return NodeSchema.unknown(FRAME)
+        columns = list(frame.index) + list(frame.columns)
+        return NodeSchema.frame(columns, frame.dtype_map())
+    if not frame.index:
+        # resetting a default range index: pandas adds an "index" column,
+        # but an upstream unknown index keeps us honest -> unchanged cols
+        # only when we know there is no named index to surface.
+        return NodeSchema.frame(frame.columns, frame.dtype_map())
+    columns = list(frame.index) + list(frame.columns)
+    return NodeSchema.frame(columns, frame.dtype_map())
+
+
+# -- series operators -------------------------------------------------------
+
+
+@schema_rule("binop")
+def _binop_schema(node, inputs, ctx) -> NodeSchema:
+    left = _first(inputs)
+    if left.kind == SCALAR:
+        return NodeSchema.scalar()
+    op = node.args.get("op")
+    if op in ("==", "!=", "<", "<=", ">", ">=", "&", "|"):
+        return NodeSchema.series(left.series_name, "bool", index=left.index)
+    return NodeSchema.series(left.series_name, None, index=left.index)
+
+
+@schema_rule("unop")
+def _unop_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    if base.kind == SCALAR:
+        return NodeSchema.scalar()
+    dtype = "bool" if node.args.get("op") == "~" else base.series_dtype
+    return NodeSchema.series(base.series_name, dtype, index=base.index)
+
+
+@schema_rule("isin", "between", "isna", "notna")
+def _bool_series_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    return NodeSchema.series(base.series_name, "bool", index=base.index)
+
+
+@schema_rule("str_method")
+def _str_method_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    method = node.args.get("method", "")
+    dtype = "bool" if method in (
+        "contains", "startswith", "endswith", "isdigit", "isalpha",
+    ) else "object"
+    return NodeSchema.series(base.series_name, dtype, index=base.index)
+
+
+@schema_rule("dt_field")
+def _dt_field_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    dtype = "object" if node.args.get("field") == "date" else "int64"
+    return NodeSchema.series(base.series_name, dtype, index=base.index)
+
+
+@schema_rule("series_fillna", "series_call", "series_map", "round")
+def _series_passthrough_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    if base.kind == FRAME:
+        return base  # frame-level round shares the "round" op name
+    return NodeSchema.series(base.series_name, base.series_dtype,
+                             index=base.index)
+
+
+@schema_rule("series_astype")
+def _series_astype_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    dtype = normalize_dtype(node.args.get("dtype"))
+    return NodeSchema.series(base.series_name, dtype, index=base.index)
+
+
+@schema_rule("to_datetime")
+def _to_datetime_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    return NodeSchema.series(base.series_name, "datetime64[ns]",
+                             index=base.index)
+
+
+@schema_rule("to_frame_series")
+def _to_frame_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    name = node.args.get("name") or base.series_name
+    if name is None:
+        return NodeSchema.unknown(FRAME)
+    dtypes = {}
+    if base.series_dtype:
+        dtypes[name] = base.series_dtype
+    return NodeSchema.frame([name], dtypes, index=base.index)
+
+
+@schema_rule("value_counts")
+def _value_counts_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    return NodeSchema.series(base.series_name, "int64")
+
+
+@schema_rule("unique")
+def _unique_schema(node, inputs, ctx) -> NodeSchema:
+    base = _first(inputs)
+    return NodeSchema.series(base.series_name, base.series_dtype)
+
+
+# -- aggregations -----------------------------------------------------------
+
+
+@schema_rule("series_agg", "series_len", "frame_len", "nunique", "info")
+def _scalar_schema(node, inputs, ctx) -> NodeSchema:
+    return NodeSchema.scalar()
+
+
+@schema_rule("groupby_agg")
+def _groupby_agg_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    column = node.args.get("column")
+    dtype = frame.dtype_of(column) if column else None
+    if node.args.get("func") == "count":
+        dtype = "int64"
+    return NodeSchema.series(column, dtype,
+                             index=tuple(node.args.get("keys", ())))
+
+
+@schema_rule("groupby_agg_multi")
+def _groupby_agg_multi_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    keys = list(node.args.get("keys", ()))
+    columns = _columns_arg(node, "columns")
+    if columns is None:
+        spec = node.args.get("spec")
+        columns = list(spec) if isinstance(spec, dict) else None
+    if columns is None:
+        return NodeSchema.unknown(FRAME)
+    dtypes = {k: v for k, v in frame.dtypes if k in set(columns) | set(keys)}
+    if node.args.get("as_index", True):
+        return NodeSchema.frame(columns, dtypes, index=tuple(keys))
+    return NodeSchema.frame(keys + [c for c in columns if c not in keys],
+                            dtypes)
+
+
+@schema_rule("groupby_size")
+def _groupby_size_schema(node, inputs, ctx) -> NodeSchema:
+    return NodeSchema.series(None, "int64",
+                             index=tuple(node.args.get("keys", ())))
+
+
+# -- combination ------------------------------------------------------------
+
+
+def merge_key_columns(node: Node) -> Tuple[Optional[List[str]],
+                                           Optional[List[str]]]:
+    """(left keys, right keys) of a merge node, ``None`` when implied
+    (natural join on the shared columns)."""
+    on = _columns_arg(node, "on")
+    if on is not None:
+        return on, on
+    left_on = _columns_arg(node, "left_on")
+    right_on = _columns_arg(node, "right_on")
+    if left_on is not None and right_on is not None:
+        return left_on, right_on
+    return None, None
+
+
+@schema_rule("merge")
+def _merge_schema(node, inputs, ctx) -> NodeSchema:
+    if len(inputs) < 2 or not inputs[0].known or not inputs[1].known:
+        return NodeSchema.unknown(FRAME)
+    left, right = inputs[0], inputs[1]
+    left_keys, right_keys = merge_key_columns(node)
+    if left_keys is None:
+        left_keys = right_keys = [
+            c for c in left.columns if c in set(right.columns)
+        ]
+    suffixes = tuple(node.args.get("suffixes", ("_x", "_y")))
+    same_key = left_keys == right_keys
+    right_drop = set(right_keys) if same_key else set()
+    overlap = (set(left.columns) & set(right.columns)) - (
+        set(left_keys) if same_key else set()
+    )
+    columns: List[str] = []
+    dtypes: Dict[str, str] = {}
+    for name in left.columns:
+        label = name + suffixes[0] if name in overlap else name
+        columns.append(label)
+        dtype = left.dtype_of(name)
+        if dtype:
+            dtypes[label] = dtype
+    for name in right.columns:
+        if name in right_drop:
+            continue
+        label = name + suffixes[1] if name in overlap else name
+        columns.append(label)
+        dtype = right.dtype_of(name)
+        if dtype:
+            dtypes[label] = dtype
+    return NodeSchema.frame(columns, dtypes)
+
+
+@schema_rule("concat")
+def _concat_schema(node, inputs, ctx) -> NodeSchema:
+    if not inputs or not all(s.known for s in inputs):
+        return NodeSchema.unknown(FRAME)
+    if all(s.kind == SERIES for s in inputs):
+        names = {s.series_name for s in inputs}
+        name = names.pop() if len(names) == 1 else None
+        return NodeSchema.series(name)
+    columns: List[str] = []
+    dtypes: Dict[str, str] = {}
+    for schema in inputs:
+        for name in schema.columns:
+            if name not in columns:
+                columns.append(name)
+            dtype = schema.dtype_of(name)
+            if dtype and name not in dtypes:
+                dtypes[name] = dtype
+    return NodeSchema.frame(columns, dtypes)
+
+
+# -- opaque / effect operators ----------------------------------------------
+
+
+@schema_rule("describe", "apply", "assign", "select_columns_if")
+def _opaque_schema(node, inputs, ctx) -> NodeSchema:
+    # Output shape depends on runtime values (UDFs, dtype predicates,
+    # numeric-column selection): stay unknown rather than guess.
+    kind = SERIES if node.op == "apply" else FRAME
+    return NodeSchema.unknown(kind)
+
+
+@schema_rule("print", "to_csv", "plot_call")
+def _effect_schema(node, inputs, ctx) -> NodeSchema:
+    # Side-effect sinks pass their primary input through untouched.
+    return _first(inputs)

@@ -32,6 +32,8 @@ key                                       default
 ``workload.result_dir``                   None       result dir for benchmark programs
 ``workload.source_format``                None       physical source format axis
                                                      (csv / jsonl / dataset)
+``analysis.level``                        "warn"     static plan analysis before
+                                                     execution (off / warn / strict)
 ========================================  =========  ==================================
 
 The pre-Session ``OptimizationFlags`` attribute names (``caching``,
@@ -253,6 +255,23 @@ register_option(
         "path; 'jsonl'/'dataset' reroutes pd.read_csv through the "
         "matching scan source when the sibling dataset variant exists.",
     validator=_validate_source_format,
+)
+
+
+def _validate_analysis_level(value: object) -> None:
+    if value not in ("off", "warn", "strict"):
+        raise OptionError(
+            f"expected 'off', 'warn' or 'strict', got {value!r}"
+        )
+
+
+register_option(
+    "analysis.level", "warn",
+    doc="Static plan analysis before execution: 'off' skips it, 'warn' "
+        "emits a PlanDiagnosticsWarning for error-severity diagnostics, "
+        "'strict' raises PlanValidationError before any partition is "
+        "read.",
+    validator=_validate_analysis_level,
 )
 
 

@@ -79,14 +79,28 @@ class LazyObject:
         self._session.compute(self._node, live_df=[self])
         return self
 
-    def explain(self, optimized: bool = True, stats: bool = False) -> str:
+    def validate(self):
+        """Statically analyze this object's plan without executing it.
+
+        Returns the diagnostic list (possibly empty, possibly warnings
+        and hints); raises
+        :class:`~repro.analysis.plan.PlanValidationError` when any
+        finding has error severity -- *before* any partition is read.
+        """
+        return self._session.validate(self._node)
+
+    def explain(self, optimized: bool = True, stats: bool = False,
+                diagnostics: bool = False) -> str:
         """Text rendering of this object's task graph: the raw plan and
         (unless ``optimized=False``) the plan after the session's
         optimizer rules ran.  ``stats=True`` appends the session's most
         recent per-node execution statistics (populate them with a
-        ``collect()`` first).  Never executes or mutates the graph."""
+        ``collect()`` first); ``diagnostics=True`` appends the static
+        analyzer's findings on the raw plan.  Never executes or mutates
+        the graph."""
         return self._session.explain(
-            self._node, optimized=optimized, stats=stats
+            self._node, optimized=optimized, stats=stats,
+            diagnostics=diagnostics,
         )
 
     # -- deferred formatting (section 3.3) ---------------------------------

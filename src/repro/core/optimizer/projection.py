@@ -15,7 +15,7 @@ its frame inputs as requiring *all* columns.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence, Set
+from typing import Dict, Optional, Sequence, Set
 
 from repro.graph.node import ALL_COLUMNS, Node
 from repro.graph.taskgraph import collect_subgraph, topological_order
@@ -60,12 +60,18 @@ def _scan_supports_projection(node: Node) -> bool:
 
 
 def _required_columns(
-    roots: Sequence[Node], nodes: Sequence[Node]
+    roots: Sequence[Node], nodes: Sequence[Node],
+    order: Optional[Sequence[Node]] = None,
 ) -> Dict[int, Set[str]]:
-    """Backward column-requirement propagation (reverse topological)."""
+    """Backward column-requirement propagation (reverse topological).
+
+    ``order``, when given, must be ``topological_order(roots)`` -- callers
+    that already sorted the subgraph (the plan analyzer) skip the resort.
+    """
     required: Dict[int, Set[str]] = {}
     root_ids = {r.id for r in roots}
-    order = topological_order(roots)
+    if order is None:
+        order = topological_order(roots)
 
     def demand(node: Node, cols: Set[str]) -> None:
         bucket = required.setdefault(node.id, set())

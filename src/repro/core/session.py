@@ -94,6 +94,10 @@ class Session:
         self.stats = {"computes": 0, "nodes_executed": 0}
         self.last_optimize_report: Optional[dict] = None
         self.last_execution_stats: Optional[ExecutionStats] = None
+        #: analysis-gate memo: roots key -> (graph version, diagnostics).
+        #: The node registry only ever grows, so its size is a cheap
+        #: version stamp for "was any node built since the last gate?".
+        self._analysis_cache: Dict[tuple, tuple] = {}
 
     # -- options -----------------------------------------------------------
 
@@ -277,14 +281,17 @@ class Session:
         self.pending_prints.clear()
 
     def explain(self, node: Node, optimized: bool = True,
-                stats: bool = False) -> str:
+                stats: bool = False, diagnostics: bool = False) -> str:
         """Render ``node``'s task graph as text: the raw plan and (by
         default) the plan after this session's optimizer rules ran.
 
         With ``stats=True`` the session's most recent execution
         statistics (per-node wall time, queue wait, bytes registered and
         released, fusion and throttle counters) are appended -- run a
-        ``collect()`` first to populate them.
+        ``collect()`` first to populate them.  With ``diagnostics=True``
+        the static plan analyzer's findings on the *raw* plan are
+        appended (deterministically ordered and numbered like the raw
+        plan itself, so the section golden-tests the same way).
 
         Purely observational: the graph, persist marks, and the session's
         persisted set are restored afterwards, so ``explain()`` never
@@ -294,6 +301,13 @@ class Session:
 
         roots = [node]
         sections = ["== raw plan ==", render_plan(roots)]
+        if diagnostics:
+            from repro.analysis.plan import analyze_plan, render_diagnostics
+
+            sections += [
+                "", "== diagnostics ==",
+                render_diagnostics(analyze_plan(roots, session=self)),
+            ]
         if optimized:
             snapshot = self._snapshot(roots)
             persist_marks = [(entry[0], entry[0].persist) for entry in snapshot]
@@ -316,9 +330,68 @@ class Session:
                 sections.append(self.last_execution_stats.render())
         return "\n".join(sections)
 
+    def validate(self, node: Node):
+        """Run the static plan analyzer over ``node``'s graph.
+
+        Returns the (possibly empty) diagnostic list when no finding has
+        error severity; raises
+        :class:`~repro.analysis.plan.PlanValidationError` -- carrying
+        every diagnostic -- when one does.  Nothing is executed and no
+        partition is read.
+        """
+        from repro.analysis.plan import PlanValidationError, analyze_plan
+
+        diagnostics = analyze_plan([node], session=self)
+        if any(d.is_error for d in diagnostics):
+            raise PlanValidationError(diagnostics)
+        return diagnostics
+
+    def _analysis_gate(self, roots: List[Node]) -> Optional[tuple]:
+        """The ``analysis.level`` hook: every computation passes through
+        here *before* the optimizer or scheduler touch the plan, so
+        strict sessions reject provably broken plans without reading a
+        single partition.  Returns the memo key of the analyzed plan
+        (``None`` when analysis is off) so ``_run`` can re-stamp the
+        cache after the transactional optimize grew the node registry."""
+        level = str(self.options.get("analysis.level"))
+        if level == "off":
+            return
+        from repro.analysis.plan import PlanValidationError, analyze_plan
+        from repro.analysis.plan.diagnostics import PlanDiagnosticsWarning
+
+        # Re-collecting an unchanged plan (the common steady state: the
+        # same frame computed in a loop) reuses the previous analysis --
+        # the raw graph is append-only between computations, so "same
+        # roots + no new nodes" means "same plan".
+        key = tuple(sorted({r.id for r in roots}))
+        version = len(self.node_registry)
+        cached = self._analysis_cache.get(key)
+        if cached is not None and cached[0] == version:
+            diagnostics = cached[1]
+        else:
+            diagnostics = analyze_plan(roots, session=self)
+            if len(self._analysis_cache) >= 64:
+                self._analysis_cache.clear()
+            self._analysis_cache[key] = (version, diagnostics)
+        errors = [d for d in diagnostics if d.is_error]
+        if not errors:
+            return key
+        if level == "strict":
+            raise PlanValidationError(diagnostics)
+        summary = "; ".join(f"{d.code} {d.message}" for d in errors[:3])
+        if len(errors) > 3:
+            summary += f"; ... ({len(errors) - 3} more)"
+        warnings.warn(
+            f"static plan analysis found {len(errors)} error(s): {summary}",
+            PlanDiagnosticsWarning,
+            stacklevel=4,
+        )
+        return key
+
     def _run(self, roots: List[Node], live_nodes: List[Node]):
         from repro.core.optimizer import optimize
 
+        gate_key = self._analysis_gate(roots)
         # Optimization is transactional: the rules rewire the shared graph
         # for *this* execution (like Dask optimizing a copy of its graph),
         # then the original wiring is restored -- later computations may
@@ -339,6 +412,14 @@ class Session:
                 )
         self.stats["computes"] += 1
         self._release_dead_persists(live_nodes)
+        if gate_key is not None and gate_key in self._analysis_cache:
+            # the optimizer's temporary rewrite nodes grew the registry,
+            # but the raw plan was restored unchanged -- re-stamp so the
+            # next collect of the same roots reuses this analysis.
+            self._analysis_cache[gate_key] = (
+                len(self.node_registry),
+                self._analysis_cache[gate_key][1],
+            )
         return results
 
     @staticmethod

@@ -10,7 +10,7 @@ are elided -- the same pipeline always renders the same text.
 from __future__ import annotations
 
 import os
-from typing import List, Sequence
+from typing import Dict, List, Sequence
 
 from repro.graph.node import Node
 from repro.graph.taskgraph import topological_order
@@ -76,23 +76,30 @@ def _format_scan_args(node: Node) -> str:
     return ", ".join(parts)
 
 
+def render_node_line(node: Node, numbers: Dict[int, int]) -> str:
+    """One node's plan line under a ``node id -> N number`` mapping.
+
+    Shared by :func:`render_plan` and the analyzer's diagnostics, so a
+    diagnostic's plan-path context is byte-identical to the rendered
+    plan line it points at."""
+    line = f"N{numbers.get(node.id, 0)} {node.op}"
+    args = _format_args(node)
+    if args:
+        line += f"({args})"
+    deps = ",".join(
+        f"N{numbers[dep.id]}" for dep in node.all_deps()
+        if dep.id in numbers
+    )
+    if deps:
+        line += f" <- [{deps}]"
+    if node.persist:
+        line += "  [persist]"
+    return line
+
+
 def render_plan(roots: Sequence[Node]) -> str:
     """One line per node, dependencies first, deterministically numbered."""
     order = topological_order(list(roots))
     numbers = {node.id: index + 1 for index, node in enumerate(order)}
-    lines: List[str] = []
-    for node in order:
-        line = f"N{numbers[node.id]} {node.op}"
-        args = _format_args(node)
-        if args:
-            line += f"({args})"
-        deps = ",".join(
-            f"N{numbers[dep.id]}" for dep in node.all_deps()
-            if dep.id in numbers
-        )
-        if deps:
-            line += f" <- [{deps}]"
-        if node.persist:
-            line += "  [persist]"
-        lines.append(line)
+    lines: List[str] = [render_node_line(node, numbers) for node in order]
     return "\n".join(lines)

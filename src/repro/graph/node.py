@@ -231,9 +231,34 @@ def _rename_mod(node: Node) -> Set[str]:
     return set(mapping) | set(mapping.values())
 
 
+def _merge_used(node: Node) -> Set[str]:
+    """Join keys when declared; a natural join (no ``on``/``left_on``)
+    inspects every shared column, so it degrades to ALL_COLUMNS."""
+    out: Set[str] = set()
+    for arg in ("on", "left_on", "right_on"):
+        value = node.args.get(arg)
+        if value is None:
+            continue
+        if isinstance(value, str):
+            out.add(value)
+        else:
+            out.update(value)
+    return out if out else {ALL_COLUMNS}
+
+
+# Every registration passes ``mod_attrs`` and ``used_attrs`` explicitly
+# -- even when they match the OpSpec defaults -- so the declared column
+# semantics are visible at the registration site and an over-claiming
+# ALL_COLUMNS is a deliberate annotation, not a silent fallback
+# (tools/check_invariants.py enforces this for new operators).
+
+_NO_COLS = lambda n: set()          # noqa: E731 - registration shorthand
+_ALL_COLS = lambda n: {ALL_COLUMNS}  # noqa: E731 - registration shorthand
+
 register_op(OpSpec(
     "read_csv",
-    used_attrs=lambda n: set(),
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
     is_source=True,
 ))
 register_op(OpSpec(
@@ -241,36 +266,43 @@ register_op(OpSpec(
     # folded-in scan contract (columns / predicate / kept partitions);
     # repro.io resolves them back into a DataSource at execution time.
     "scan",
-    used_attrs=lambda n: set(),
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
     is_source=True,
 ))
 register_op(OpSpec(
     "from_data",
-    used_attrs=lambda n: set(),
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
     is_source=True,
 ))
 register_op(OpSpec(
     "from_pandas",
-    used_attrs=lambda n: set(),
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
     is_source=True,
 ))
 register_op(OpSpec(
     "identity",
-    used_attrs=lambda n: set(),
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 register_op(OpSpec(
     "getitem_column",
+    mod_attrs=_NO_COLS,
     used_attrs=_arg_cols("column"),
     row_preserving=True,
 ))
 register_op(OpSpec(
     "getitem_columns",
+    mod_attrs=_NO_COLS,
     used_attrs=_arg_cols("columns"),
     row_preserving=True,
 ))
 register_op(OpSpec(
     "filter",
+    mod_attrs=_NO_COLS,
     used_attrs=_filter_used,
     row_preserving=True,
     is_filter=True,
@@ -283,62 +315,97 @@ register_op(OpSpec(
 ))
 register_op(OpSpec(
     "binop",
-    used_attrs=lambda n: set(),
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
-register_op(OpSpec("unop", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("str_method", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("dt_field", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("isin", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("between", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("isna", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("notna", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("series_fillna", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("series_astype", used_attrs=lambda n: set(), row_preserving=True))
-register_op(OpSpec("series_map", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec(
+    "unop", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=True,
+))
+register_op(OpSpec(
+    "str_method", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "dt_field", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "isin", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=True,
+))
+register_op(OpSpec(
+    "between", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=True,
+))
+register_op(OpSpec(
+    "isna", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=True,
+))
+register_op(OpSpec(
+    "notna", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=True,
+))
+register_op(OpSpec(
+    "series_fillna", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "series_astype", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
+register_op(OpSpec(
+    "series_map", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
 # window/positional series ops: results depend on neighbouring rows, so
 # filters never commute through them (not elementwise, not row_preserving).
-register_op(OpSpec("series_call", used_attrs=lambda n: set()))
-register_op(OpSpec("to_datetime", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec("series_call", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+register_op(OpSpec(
+    "to_datetime", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
 register_op(OpSpec(
     "astype",
     mod_attrs=lambda n: set(n.args.get("dtype", {}))
     if isinstance(n.args.get("dtype"), dict)
     else {ALL_COLUMNS},
-    used_attrs=lambda n: set(),
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 register_op(OpSpec(
     "fillna",
-    mod_attrs=lambda n: {ALL_COLUMNS},
-    used_attrs=lambda n: set(),
+    mod_attrs=_ALL_COLS,
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 register_op(OpSpec(
     "dropna",
+    mod_attrs=_NO_COLS,
     used_attrs=_arg_cols_or_all("subset"),
     row_preserving=True,  # a dropna is itself a filter; rows commute
 ))
 register_op(OpSpec(
     "rename",
     mod_attrs=_rename_mod,
-    used_attrs=lambda n: set(),
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 register_op(OpSpec(
     "drop",
     mod_attrs=lambda n: set(n.args.get("columns", [])),
-    used_attrs=lambda n: set(),
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 register_op(OpSpec(
     "sort_values",
+    mod_attrs=_NO_COLS,
     used_attrs=_arg_cols("by"),
     row_preserving=True,
 ))
-register_op(OpSpec("sort_index", used_attrs=lambda n: set(), row_preserving=True))
+register_op(OpSpec(
+    "sort_index", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
 register_op(OpSpec(
     "drop_duplicates",
+    mod_attrs=_NO_COLS,
     used_attrs=_arg_cols_or_all("subset"),
     # Filtering first can change *which* representative row survives, but
     # never produces a row that fails the filter; the paper lists
@@ -347,44 +414,87 @@ register_op(OpSpec(
 ))
 register_op(OpSpec(
     "round",
-    mod_attrs=lambda n: {ALL_COLUMNS},
-    used_attrs=lambda n: set(),
+    mod_attrs=_ALL_COLS,
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 register_op(OpSpec(
     "abs",
-    mod_attrs=lambda n: {ALL_COLUMNS},
-    used_attrs=lambda n: set(),
+    mod_attrs=_ALL_COLS,
+    used_attrs=_NO_COLS,
     row_preserving=True,
 ))
 
 # Row-count-changing / aggregate operators: predicates never move below.
-register_op(OpSpec("groupby_agg", used_attrs=_arg_cols("keys", "column")))
-register_op(OpSpec("groupby_agg_multi", used_attrs=_arg_cols("keys", "columns")))
-register_op(OpSpec("groupby_size", used_attrs=_arg_cols("keys")))
-register_op(OpSpec("merge"))
-register_op(OpSpec("concat"))
-register_op(OpSpec("head", used_attrs=lambda n: set(), row_preserving=False))
-register_op(OpSpec("tail", used_attrs=lambda n: set(), row_preserving=False))
-register_op(OpSpec("nlargest", used_attrs=_arg_cols("columns")))
-register_op(OpSpec("nsmallest", used_attrs=_arg_cols("columns")))
-register_op(OpSpec("describe"))
-register_op(OpSpec("info"))
-register_op(OpSpec("value_counts"))
-register_op(OpSpec("series_agg", scalar=True))
-register_op(OpSpec("series_len", scalar=True))
-register_op(OpSpec("frame_len", scalar=True))
-register_op(OpSpec("nunique", scalar=True))
-register_op(OpSpec("unique"))
-register_op(OpSpec("to_frame_series", row_preserving=True))
-register_op(OpSpec("reset_index"))
-register_op(OpSpec("set_index", used_attrs=_arg_cols("column")))
-register_op(OpSpec("apply"))
-register_op(OpSpec("assign", mod_attrs=lambda n: {ALL_COLUMNS}))
-register_op(OpSpec("select_columns_if"))
-register_op(OpSpec("sample", used_attrs=lambda n: set()))
+register_op(OpSpec(
+    "groupby_agg", mod_attrs=_NO_COLS,
+    used_attrs=_arg_cols("keys", "column"),
+))
+register_op(OpSpec(
+    "groupby_agg_multi", mod_attrs=_NO_COLS,
+    used_attrs=_arg_cols("keys", "columns"),
+))
+register_op(OpSpec(
+    "groupby_size", mod_attrs=_NO_COLS, used_attrs=_arg_cols("keys"),
+))
+# merge reads its declared join keys (a natural join still claims all
+# shared columns); concat and the series reshapers reference no columns
+# by name at all -- they used to over-claim ALL_COLUMNS by default.
+register_op(OpSpec("merge", mod_attrs=_NO_COLS, used_attrs=_merge_used))
+register_op(OpSpec("concat", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+register_op(OpSpec(
+    "head", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=False,
+))
+register_op(OpSpec(
+    "tail", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=False,
+))
+register_op(OpSpec(
+    "nlargest", mod_attrs=_NO_COLS, used_attrs=_arg_cols("columns"),
+))
+register_op(OpSpec(
+    "nsmallest", mod_attrs=_NO_COLS, used_attrs=_arg_cols("columns"),
+))
+# describe/info genuinely inspect every column: ALL_COLUMNS is the
+# honest declaration, stated explicitly rather than inherited.
+register_op(OpSpec("describe", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS))
+register_op(OpSpec("info", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS))
+register_op(OpSpec("value_counts", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+register_op(OpSpec(
+    "series_agg", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, scalar=True,
+))
+register_op(OpSpec(
+    "series_len", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, scalar=True,
+))
+register_op(OpSpec(
+    "frame_len", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, scalar=True,
+))
+register_op(OpSpec(
+    "nunique", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, scalar=True,
+))
+register_op(OpSpec("unique", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+register_op(OpSpec(
+    "to_frame_series", mod_attrs=_NO_COLS, used_attrs=_NO_COLS,
+    row_preserving=True,
+))
+register_op(OpSpec("reset_index", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+register_op(OpSpec(
+    "set_index", mod_attrs=_NO_COLS, used_attrs=_arg_cols("column"),
+))
+# UDF / runtime-dependent operators: column flow is unknowable, ALL stays.
+register_op(OpSpec("apply", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS))
+register_op(OpSpec("assign", mod_attrs=_ALL_COLS, used_attrs=_ALL_COLS))
+register_op(OpSpec(
+    "select_columns_if", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS,
+))
+register_op(OpSpec("sample", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
 
-# Side-effect operators.
-register_op(OpSpec("print", side_effect=True))
-register_op(OpSpec("to_csv", side_effect=True))
-register_op(OpSpec("plot_call", side_effect=True))
+# Side-effect operators: they render their whole input.
+register_op(OpSpec(
+    "print", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS, side_effect=True,
+))
+register_op(OpSpec(
+    "to_csv", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS, side_effect=True,
+))
+register_op(OpSpec(
+    "plot_call", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS, side_effect=True,
+))

@@ -10,9 +10,12 @@ question -- "does THIS node fit in the remaining headroom?":
   estimates from the metastore, narrowed by folded projection and
   pruned partitions), ``read_csv`` nodes ask the metastore directly,
   falling back to the file size on disk,
-- operator nodes use a simple width x rows propagation: row-preserving
-  and filtering operators are bounded by their largest input, scalar
-  aggregations shrink to a constant, everything unknown stays unknown.
+- operator nodes inherit their largest input's estimate and rescale it
+  by the *inferred schema width ratio* (the analyzer's forward schema
+  pass, :func:`repro.analysis.plan.schema.infer_schemas`): a projection
+  keeping 2 of 10 equally-wide columns costs ~1/5 of its input, a
+  series extraction costs one column, a setitem adds one.  Nodes whose
+  schema is unknown keep the old bounded-by-largest-input behaviour.
 
 Estimates are advisory: a missing estimate degrades that node to the
 old all-or-nothing behaviour, never blocks execution, and the recorded
@@ -31,6 +34,15 @@ from repro.graph.node import Node
 #: a scalar result (aggregate, len) is a few machine words.
 _SCALAR_BYTES = 64
 
+#: per-value in-memory widths by inferred dtype; strings are a pointer
+#: plus a short heap payload, unknown dtypes split the difference.
+_DTYPE_WIDTHS = {
+    "int64": 8, "float64": 8, "bool": 1, "datetime64[ns]": 8,
+    "category": 2,
+}
+_OBJECT_WIDTH = 32
+_DEFAULT_WIDTH = 16
+
 
 def estimate_node_bytes(
     order: Sequence[Node], session
@@ -40,16 +52,49 @@ def estimate_node_bytes(
     ``order`` must be topological (estimates propagate forward).
     """
     metastore = getattr(session, "metastore", None) if session else None
+    schemas = _infer_schemas(order, session)
     estimates: Dict[int, Optional[int]] = {}
     for node in order:
-        estimates[node.id] = _estimate(node, estimates, metastore)
+        estimates[node.id] = _estimate(node, estimates, metastore, schemas)
     return {k: v for k, v in estimates.items() if v is not None}
+
+
+def _infer_schemas(order: Sequence[Node], session) -> dict:
+    # Imported lazily: the analyzer sits above graph/ in the layering,
+    # and estimation must keep working even if inference breaks.
+    try:
+        from repro.analysis.plan.schema import infer_schemas
+
+        return infer_schemas(order, session)
+    except Exception:  # noqa: BLE001 - estimates are advisory
+        return {}
+
+
+def schema_width(schema) -> Optional[int]:
+    """Predicted per-row byte width of a node's inferred schema, or
+    ``None`` when its columns are unknown (or it has none)."""
+    columns = getattr(schema, "columns", None)
+    if not columns:
+        return None
+    total = 0
+    for column in columns:
+        dtype = schema.dtype_of(column)
+        if dtype is None:
+            total += _DEFAULT_WIDTH
+        elif dtype in _DTYPE_WIDTHS:
+            total += _DTYPE_WIDTHS[dtype]
+        elif dtype == "object":
+            total += _OBJECT_WIDTH
+        else:
+            total += _DEFAULT_WIDTH
+    return total
 
 
 def _estimate(
     node: Node,
     estimates: Dict[int, Optional[int]],
     metastore,
+    schemas: dict,
 ) -> Optional[int]:
     op = node.op
     if op == "scan":
@@ -62,20 +107,30 @@ def _estimate(
         return int(nbytes) if isinstance(nbytes, (int, float)) else None
     if node.spec.scalar:
         return _SCALAR_BYTES
-    inherited = [
-        estimates.get(inp.id) for inp in node.inputs
-        if estimates.get(inp.id) is not None
-    ]
-    if not inherited:
+    widest: Optional[int] = None
+    widest_input: Optional[Node] = None
+    for inp in node.inputs:
+        inherited = estimates.get(inp.id)
+        if inherited is not None and (widest is None or inherited > widest):
+            widest, widest_input = inherited, inp
+    if widest is None or widest_input is None:
         return None
     if op in ("head", "tail"):
         # a handful of rows: negligible next to its input.
-        return min(max(inherited), 4096)
+        return min(widest, 4096)
     if op in ("merge", "concat"):
-        return sum(inherited)
+        return sum(
+            e for e in (estimates.get(inp.id) for inp in node.inputs)
+            if e is not None
+        )
     # Row-preserving transforms, filters, aggregations: bounded by the
-    # widest input (filters and group-bys only shrink it).
-    return max(inherited)
+    # widest input, rescaled by the inferred width ratio when the schema
+    # pass pinned down both sides' columns.
+    out_width = schema_width(schemas.get(node.id))
+    in_width = schema_width(schemas.get(widest_input.id))
+    if out_width is not None and in_width:
+        return max(1, (widest * out_width) // in_width)
+    return widest
 
 
 def _scan_estimate(node: Node, metastore) -> Optional[int]:

@@ -6,6 +6,7 @@ Usage::
     python -m repro.workloads.cli run nyt --mode lafp_dask --size M
     python -m repro.workloads.cli grid --sizes S M --rows 2000
     python -m repro.workloads.cli verify stu
+    python -m repro.workloads.cli lint          # analyze, execute nothing
 
 Mirrors what the pytest benchmarks do, for interactive exploration.
 """
@@ -66,6 +67,22 @@ def _cmd_grid(args) -> int:
     return exit_code
 
 
+def _cmd_lint(args) -> int:
+    runner = Runner(base_rows=args.rows, enforce_budget=False)
+    programs = [args.program] if args.program else sorted(PROGRAMS)
+    failures = 0
+    for program in programs:
+        report = runner.lint(program, size=args.size)
+        status = "ok" if report.ok else "FAILED"
+        print(f"{program}: {status}")
+        body = report.render()
+        if args.verbose or not report.ok or report.diagnostics:
+            print("  " + body.replace("\n", "\n  "))
+        failures += 0 if report.ok else 1
+    runner.cleanup()
+    return 1 if failures else 0
+
+
 def _cmd_verify(args) -> int:
     runner = Runner(base_rows=args.rows, enforce_budget=False)
     programs = [args.program] if args.program else sorted(PROGRAMS)
@@ -119,6 +136,21 @@ def build_parser() -> argparse.ArgumentParser:
     grid.add_argument("--rows", type=int, default=3000)
     grid.add_argument("--no-budget", action="store_true")
     grid.set_defaults(func=_cmd_grid)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically analyze programs (schema + plan rules) without "
+             "executing them",
+    )
+    lint.add_argument("program", nargs="?", default=None,
+                      choices=[None] + sorted(PROGRAMS))
+    lint.add_argument("--size", choices=["S", "M", "L"], default="S")
+    lint.add_argument("--rows", type=int, default=300,
+                      help="dataset rows generated so source schemas "
+                           "resolve (small: nothing is executed)")
+    lint.add_argument("--verbose", action="store_true",
+                      help="print diagnostics even for clean programs")
+    lint.set_defaults(func=_cmd_lint)
 
     verify = sub.add_parser("verify", help="md5 regression vs plain pandas")
     verify.add_argument("program", nargs="?", default=None)

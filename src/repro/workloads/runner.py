@@ -80,6 +80,14 @@ _BACKEND_OF_MODE = {
     "lafp_dask": "dask",
 }
 
+#: header for static linting: the lazy facade *without* ``pd.analyze()``
+#: (the source rewriter replaces execution; lint wants the program to
+#: build its task graphs so the plan analyzer can inspect them).
+_LINT_HEADER = (
+    "import repro.lazyfatpandas.pandas as pd\n"
+    "pd.BACKEND_ENGINE = pd.BackendEngines.PANDAS\n"
+)
+
 
 class _SessionStdoutRouter(io.TextIOBase):
     """Routes ``print`` output to the buffer of the *writing session*.
@@ -191,6 +199,30 @@ class RunResult:
         out = dataclasses.asdict(self)
         out.pop("stdout")
         return out
+
+
+@dataclasses.dataclass
+class LintReport:
+    """Outcome of statically analyzing one program without executing."""
+
+    program: str
+    diagnostics: list
+    error: Optional[str] = None
+
+    @property
+    def ok(self) -> bool:
+        """No crash and no error-severity diagnostic."""
+        return self.error is None and not any(
+            d.is_error for d in self.diagnostics
+        )
+
+    def render(self) -> str:
+        from repro.analysis.plan import render_diagnostics
+
+        body = render_diagnostics(self.diagnostics)
+        if self.error:
+            body += f"\nlint aborted early: {self.error}"
+        return body
 
 
 class Runner:
@@ -423,6 +455,94 @@ class Runner:
                                         strategy=strategy,
                                         source_format=source_format))
         return out
+
+    def lint(self, program: str, size: str = "S") -> LintReport:
+        """Statically analyze one program: build its plans, execute none.
+
+        The program body runs under the lazy facade inside a
+        :class:`~repro.analysis.plan.lint.LintSession` -- every forced
+        computation (``save_result``, ``len``, lazy prints) records the
+        plan instead of reading data -- then the whole session graph is
+        analyzed once, session-scoped rules (dead subgraphs) included.
+        Datasets are still generated so source schemas resolve.
+        """
+        from repro.analysis.plan.lint import LintSession
+        from repro.workloads import resultio
+
+        spec = PROGRAMS[program]
+        self.prepare([size], programs=[program])
+        source = _LINT_HEADER + spec.body_for("pandas")
+        lint_dir = os.path.join(self.workdir, "lint", program)
+        os.makedirs(lint_dir, exist_ok=True)
+        program_path = os.path.join(lint_dir, f"{program}.py")
+        with open(program_path, "w") as f:
+            f.write(source)
+
+        session = LintSession(backend="pandas")
+        session.metastore = self.metastore
+        overrides = {
+            "workload.data_dir": self.data_dir(size),
+            "workload.result_dir": lint_dir,
+            "analysis.level": "off",  # finish() analyzes once, globally
+        }
+        self._reset_compat_state()
+
+        # The body runs without pd.analyze(), so the rewrites the JIT
+        # would apply are modelled here instead: save_result / plotlib
+        # calls force (= record) their lazy arguments and skip the real
+        # work, and printing a lazy object counts as consuming it (under
+        # analyze() those prints become side-effecting lazy print nodes,
+        # so they must not lint as dead subgraphs).
+        import builtins
+        import re
+
+        from repro.workloads import plotlib
+
+        def _record(obj) -> None:
+            node = getattr(obj, "_node", None)
+            if node is not None:
+                session.computed_ids.add(node.id)
+            elif isinstance(obj, str):
+                for match in re.finditer("\x00LAFP:(\\d+)\x00", obj):
+                    session.computed_ids.add(int(match.group(1)))
+
+        def _lint_save_result(obj, name: str) -> str:
+            compute = getattr(obj, "compute", None)
+            if compute is not None:
+                compute()
+            return ""
+
+        def _lint_plot(*args, **kwargs) -> None:
+            for arg in args:
+                _record(arg)
+
+        real_print = builtins.print
+
+        def _lint_print(*args, **kwargs):
+            for arg in args:
+                _record(arg)
+            real_print(*args, **kwargs)
+
+        original_save = resultio.save_result
+        original_plot = (plotlib.plot, plotlib.bar, plotlib.hist)
+        resultio.save_result = _lint_save_result
+        plotlib.plot = plotlib.bar = plotlib.hist = _lint_plot
+        builtins.print = _lint_print
+        captured = io.StringIO()
+        error: Optional[str] = None
+        try:
+            with _capture_session_stdout(session, captured), \
+                    session.option_context(overrides), session:
+                runpy.run_path(program_path, run_name="__main__")
+        except Exception as exc:  # noqa: BLE001 - report, don't crash lint
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            resultio.save_result = original_save
+            plotlib.plot, plotlib.bar, plotlib.hist = original_plot
+            builtins.print = real_print
+        diagnostics = session.finish()
+        return LintReport(program=program, diagnostics=diagnostics,
+                          error=error)
 
     # -- plumbing -----------------------------------------------------------------
 
