@@ -682,6 +682,69 @@ def _concat_schema(node, inputs, ctx) -> NodeSchema:
     return NodeSchema.frame(columns, dtypes)
 
 
+# -- shuffle lowering operators ---------------------------------------------
+#
+# These are optimizer-internal (repro.core.optimizer.shuffle emits them
+# after the analysis gate runs), but the coverage contract still holds:
+# every registered op has a transfer function.
+
+
+@schema_rule("shuffle_write")
+def _shuffle_write_schema(node, inputs, ctx) -> NodeSchema:
+    # result is a ShuffleStore holding bucket chunks of the input frame
+    # plus the appended row-position column
+    frame = _first(inputs)
+    if not frame.known or frame.columns is None:
+        return NodeSchema.unknown(FRAME)
+    pos = node.args.get("pos_name")
+    columns = list(frame.columns)
+    dtypes = frame.dtype_map()
+    if pos and pos not in columns:
+        columns.append(pos)
+        dtypes[pos] = "int64"
+    return NodeSchema.frame(columns, dtypes)
+
+
+@schema_rule("shuffle_read")
+def _shuffle_read_schema(node, inputs, ctx) -> NodeSchema:
+    # one bucket of the written frame: same columns, fewer rows
+    return _first(inputs)
+
+
+@schema_rule("compact")
+def _compact_schema(node, inputs, ctx) -> NodeSchema:
+    # identity rebuild with payload-owning columns
+    return _first(inputs)
+
+
+@schema_rule("partial_agg")
+def _partial_agg_schema(node, inputs, ctx) -> NodeSchema:
+    frame = _first(inputs)
+    keys = [str(k) for k in node.args.get("keys", ())]
+    labels = [str(label) for _c, _f, label in node.args.get("pairs", ())]
+    dtypes = {k: v for k, v in frame.dtypes if k in set(keys)}
+    return NodeSchema.frame(keys + labels, dtypes)
+
+
+@schema_rule("combine_agg")
+def _combine_agg_schema(node, inputs, ctx) -> NodeSchema:
+    if node.args.get("kind") == "merge":
+        frame = _first(inputs)
+        if not frame.known or frame.columns is None:
+            return NodeSchema.unknown(FRAME)
+        drop = set(node.args.get("pos_names", ()))
+        columns = [c for c in frame.columns if c not in drop]
+        return NodeSchema.frame(columns, frame.dtype_map())
+    keys = [str(k) for k in node.args.get("keys", ())]
+    labels = [spec["label"] for spec in node.args.get("outputs", ())]
+    if node.args.get("output") == "series":
+        return NodeSchema.series(node.args.get("name"), None,
+                                 index=tuple(keys))
+    if node.args.get("as_index", True):
+        return NodeSchema.frame(labels, {}, index=tuple(keys))
+    return NodeSchema.frame(keys + labels, {})
+
+
 # -- opaque / effect operators ----------------------------------------------
 
 

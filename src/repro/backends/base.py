@@ -53,6 +53,28 @@ class Backend:
 
         source = resolve_source(args)
         predicate = Predicate.from_arg(args.get("predicate"))
+        if args.get("stream"):
+            # the shuffle lowering marked this scan: its sole consumer
+            # processes partitions one at a time, so hand it a lazy
+            # stream instead of concatenating (PR 5 seam, ROADMAP item 1)
+            from repro.io.spill import PartitionStream
+
+            columns = args.get("columns")
+            partitions = args.get("partitions")
+            return PartitionStream(
+                lambda: source.scan(
+                    columns=columns,
+                    predicate=predicate,
+                    partitions=partitions,
+                ),
+                empty_factory=lambda: source.empty_frame(
+                    columns, predicate=predicate
+                ),
+                n_partitions=(
+                    len(partitions) if partitions is not None
+                    else args.get("partitions_total")
+                ),
+            )
         frames = list(source.scan(
             columns=args.get("columns"),
             predicate=predicate,
@@ -103,6 +125,10 @@ class Backend:
 
     def materialize(self, value):
         """Force a backend value to an eager frame / series / scalar."""
+        from repro.io.spill import PartitionStream
+
+        if isinstance(value, PartitionStream):
+            return value.materialize()
         return value
 
     def persist(self, value):
@@ -237,6 +263,13 @@ def apply_generic(backend: Backend, node: Node, inputs: List[object]):
     if op == "groupby_size":
         return inputs[0].groupby(args["keys"]).size()
     if op == "merge":
+        from repro.io.spill import PartitionStream
+
+        if any(isinstance(v, PartitionStream) for v in inputs):
+            # broadcast fast path: streamed big side x small eager side
+            from repro.backends.shuffle_ops import broadcast_merge
+
+            return broadcast_merge(backend, node, inputs)
         return inputs[0].merge(inputs[1], **args)
     if op == "concat":
         return backend.concat(inputs)
@@ -277,6 +310,11 @@ def apply_generic(backend: Backend, node: Node, inputs: List[object]):
         frame = backend.materialize(inputs[0])
         frame.to_csv(args["path"], index=args.get("index", False))
         return None
+    if op in ("shuffle_write", "shuffle_read", "partial_agg",
+              "combine_agg", "compact"):
+        from repro.backends.shuffle_ops import apply_shuffle_op
+
+        return apply_shuffle_op(backend, node, inputs)
 
     raise BackendUnsupported(op)
 

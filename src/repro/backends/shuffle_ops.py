@@ -1,0 +1,394 @@
+"""Eager execution of the shuffle-lowering operators.
+
+``repro.core.optimizer.shuffle`` rewrites oversized merges / groupbys
+into graphs of ``shuffle_write`` / ``shuffle_read`` / ``partial_agg`` /
+``combine_agg`` nodes plus ``stream=True`` scans; this module is how
+the eager backends (pandas, modin) run them.  The Dask sim never sees
+these ops -- the lowering pass skips lazy engines, which shuffle
+internally already.
+
+Bucket assignment uses Python's builtin ``hash`` on key tuples: it is
+the only cheap hash that is *equality-consistent* across mixed numeric
+dtypes (``hash(1) == hash(1.0) == hash(True)``), which bucket-local
+merges require.  String hashes are process-salted, so bucket contents
+vary between runs -- results do not, because ``combine_agg`` restores
+the in-memory row order from position columns (merge) or canonical
+group order (groupby).
+"""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.concat import concat_consuming
+from repro.frame.dataframe import DataFrame
+from repro.frame.groupby import GroupBy, _aggregate, partial_aggregate
+from repro.frame.series import Series
+from repro.io.spill import PartitionStream, ShuffleStore, spill_live_stores
+from repro.memory.manager import SimulatedMemoryError
+
+#: all NA key values colocate in one bucket (NA never joins, but the
+#: rows must land somewhere deterministic w.r.t. equality)
+_NA_TOKEN = ("\0lafp-na",)
+
+
+def apply_shuffle_op(backend, node, inputs):
+    """Dispatch one shuffle-lowering node on ``backend``."""
+    op = node.op
+    if op == "shuffle_write":
+        return exec_shuffle_write(backend, node, inputs)
+    if op == "shuffle_read":
+        return exec_shuffle_read(node, inputs[0])
+    if op == "partial_agg":
+        return exec_partial_agg(backend, node, inputs)
+    if op == "combine_agg":
+        return exec_combine_agg(backend, node, inputs)
+    if op == "compact":
+        return exec_compact(backend, node, inputs)
+    raise ValueError(f"not a shuffle op: {op!r}")
+
+
+# -- shuffle_write -----------------------------------------------------
+
+
+def exec_shuffle_write(backend, node, inputs) -> ShuffleStore:
+    """Hash-split the input's partitions into a spillable bucket store."""
+    args = node.args
+    keys = [str(k) for k in args["keys"]]
+    n_buckets = int(args["n_buckets"])
+    pos_name = args.get("pos_name")
+    manager = _current_manager()
+    store = ShuffleStore(n_buckets, spill_dir=_spill_dir())
+    parts, empty_factory = _iter_parts(backend, inputs[0])
+    offset = 0
+    # cushion for the stream's first partition read: a merge's second
+    # write starts with the first side's store holding ~the whole budget
+    _make_headroom(store, manager, 16384)
+    for part in parts:
+        # the pos column and the split copies arrive while the
+        # partition itself is still resident
+        _make_headroom(store, manager, part.nbytes)
+        try:
+            frame = _with_pos(part, pos_name, offset)
+        except SimulatedMemoryError:
+            spill_live_stores(1 << 62)
+            frame = _with_pos(part, pos_name, offset)
+        offset += len(frame)
+        store.set_template(frame)
+        ids = _bucket_ids(frame, keys, n_buckets)
+        try:
+            pieces = _split(frame, ids)
+        except SimulatedMemoryError:
+            # drop half-built pieces, push everything to disk, retry once
+            pieces = None
+            spill_live_stores(1 << 62)
+            pieces = _split(frame, ids)
+        for bucket, piece in pieces:
+            store.append(bucket, piece)
+        # the stream materializes the next partition before the loop
+        # body can spill for it: clear the way now
+        _make_headroom(store, manager, part.nbytes)
+    if store.template is None:
+        store.set_template(_with_pos(empty_factory(), pos_name, 0))
+    return store
+
+
+def _with_pos(frame: DataFrame, pos_name, offset: int) -> DataFrame:
+    """Rebuild ``frame`` (default index) with a global row-position
+    column appended when the lowering asked for one."""
+    cols = {name: frame.column(name) for name in frame.columns}
+    if pos_name:
+        cols[pos_name] = Column(
+            np.arange(offset, offset + len(frame), dtype=np.int64)
+        )
+    return DataFrame.from_columns(cols)
+
+
+def _make_headroom(store: ShuffleStore, manager, upcoming: int) -> None:
+    """Spill ahead of a split that will roughly double ``upcoming``.
+
+    Spills across *all* live stores: when a merge writes its second
+    side, most resident bytes belong to the first side's store.
+    """
+    if manager is None:
+        return
+    headroom = manager.headroom()
+    if headroom is None:
+        return
+    short = 2 * upcoming - headroom
+    if short > 0:
+        spill_live_stores(short)
+
+
+def _bucket_ids(frame: DataFrame, keys, n_buckets: int) -> np.ndarray:
+    n = len(frame)
+    normalized = []
+    for key in keys:
+        col = frame.column(key)
+        values = col.to_array().tolist()
+        isna = col.isna()
+        normalized.append(
+            [_NA_TOKEN if isna[i] else values[i] for i in range(n)]
+        )
+    return np.fromiter(
+        (hash(row) % n_buckets for row in zip(*normalized)),
+        dtype=np.int64,
+        count=n,
+    )
+
+
+def _split(frame: DataFrame, ids: np.ndarray):
+    pieces = []
+    for bucket in np.unique(ids):
+        idx = np.nonzero(ids == bucket)[0]
+        cols = {
+            name: _owned_take(frame.column(name), idx)
+            for name in frame.columns
+        }
+        pieces.append((int(bucket), DataFrame.from_columns(cols)))
+    return pieces
+
+
+def exec_compact(backend, node, inputs):
+    """Rebuild a frame with payload-owning columns (identity values).
+
+    Bucket-local merge/agg results derive their object columns from the
+    bucket frames via ``take``, which *shares* the bucket's heap-store
+    payload -- so a small per-bucket result would pin its whole input
+    bucket's string payload until the final combine drains every
+    bucket.  Re-owning here lets the bucket die with its payload."""
+    frame = inputs[0]
+    if isinstance(frame, PartitionStream):
+        frame = frame.materialize()
+    else:
+        frame = backend.materialize(frame)
+    return backend.from_pandas(_owned_frame(frame))
+
+
+def _owned_frame(frame: DataFrame) -> DataFrame:
+    cols = {}
+    for name in frame.columns:
+        col = frame.column(name)
+        if col.is_category:
+            # categories dictionaries are small; keep sharing them
+            cols[name] = Column(
+                col.values, categories=col.categories, shares=col._store
+            )
+        else:
+            cols[name] = Column(col.values)
+    return DataFrame.from_columns(cols)
+
+
+def _owned_take(column: Column, idx: np.ndarray) -> Column:
+    """Gather that does NOT share the parent's heap payload.
+
+    ``Column.take`` shares the source's string/category payload store,
+    which is right for short-lived derivations but wrong for bucket
+    chunks: a chunk must be independently spillable, and a shared store
+    stays resident until every sibling bucket is drained -- pinning the
+    whole table's string payload through the read phase.  Categories
+    keep sharing (one small dictionary per column)."""
+    taken = column.values[idx]
+    if column.is_category:
+        return Column(
+            taken, categories=column.categories, shares=column._store
+        )
+    return Column(taken)
+
+
+# -- shuffle_read ------------------------------------------------------
+
+
+def exec_shuffle_read(node, store: ShuffleStore) -> DataFrame:
+    """Drain one bucket, spilling other resident chunks first when the
+    write phase left the budget too full to materialize it.
+
+    The write phase keeps live bytes just under the budget, so without
+    this the very first unpickle of a spilled chunk can OOM.  The
+    store's own appended-byte counter sizes the bucket (the planner's
+    disk-based estimate undershoots in-memory width badly for CSV).
+    """
+    bucket = int(node.args["bucket"])
+    manager = _current_manager()
+    if manager is not None:
+        headroom = manager.headroom()
+        if headroom is not None:
+            # the drained chunks, their concat copy, and the downstream
+            # bucket-local merge/agg output all coexist briefly
+            need = 4 * store.bucket_estimate()
+            if headroom < need:
+                spill_live_stores(need - headroom)
+    for attempt in range(8):
+        try:
+            return store.read_bucket(bucket)
+        except SimulatedMemoryError:
+            # concurrent bucket pipelines can race past the headroom
+            # check above; read_bucket is failure-atomic, so push
+            # everything still resident (this bucket included) to disk,
+            # back off while the other pipelines' in-flight results --
+            # which no spill can reach -- finish and release, and retry
+            spill_live_stores(1 << 62)
+            time.sleep(0.005 * (attempt + 1))
+    return store.read_bucket(bucket)
+
+
+# -- partial_agg -------------------------------------------------------
+
+
+def exec_partial_agg(backend, node, inputs) -> DataFrame:
+    """Per-partition (or per-bucket) grouped partials, stacked in
+    partition order."""
+    args = node.args
+    keys = [str(k) for k in args["keys"]]
+    pairs = [tuple(p) for p in args["pairs"]]
+    parts, empty_factory = _iter_parts(backend, inputs[0])
+    partials = [partial_aggregate(part, keys, pairs) for part in parts]
+    if not partials:
+        partials = [partial_aggregate(empty_factory(), keys, pairs)]
+    if len(partials) == 1:
+        # own the payload: a lone partial's key columns are take-derived
+        # from the source partition/bucket and would pin its heap store
+        return _owned_frame(partials[0])
+    return concat_consuming(partials)
+
+
+# -- combine_agg -------------------------------------------------------
+
+
+def exec_combine_agg(backend, node, inputs):
+    if node.args.get("kind") == "merge":
+        return backend.from_pandas(_combine_merge(backend, node, inputs))
+    return backend.from_pandas(_combine_groupby(backend, node, inputs))
+
+
+def _combine_merge(backend, node, inputs) -> DataFrame:
+    """Restitch bucket-local merge results into the in-memory row order
+    using the global position columns, then drop them."""
+    lpos_name, rpos_name = node.args["pos_names"]
+    stacked = _stack_inputs(backend, inputs)
+    lpos = stacked.column(lpos_name)
+    rpos = stacked.column(rpos_name)
+    # unmatched-left rows (NaN rpos) keep their slot among the matches;
+    # unmatched-right rows (NaN lpos) go to the end in right order --
+    # exactly repro.frame.merge's emission order.
+    left = np.where(
+        lpos.isna(), np.inf, lpos.values.astype(np.float64, copy=False)
+    )
+    right = np.where(
+        rpos.isna(), -1.0, rpos.values.astype(np.float64, copy=False)
+    )
+    order = np.lexsort((right, left))
+    cols = {
+        name: stacked.column(name).take(order)
+        for name in stacked.columns
+        if name not in (lpos_name, rpos_name)
+    }
+    return DataFrame.from_columns(cols)
+
+
+def _combine_groupby(backend, node, inputs):
+    """Re-aggregate stacked partials into the final Series / DataFrame.
+
+    Grouping the stacked partial frame reproduces the canonical group
+    order of the in-memory path (per-column rank codes are a monotone
+    transform, so lexicographic key order is frame-independent).
+    """
+    args = node.args
+    keys = [str(k) for k in args["keys"]]
+    stacked = _stack_inputs(backend, inputs)
+    gb = GroupBy(stacked, keys, as_index=False)
+    codes, _, n_groups = gb._factorize()
+    cols = {}
+    for spec in args["outputs"]:
+        if spec.get("mode") == "mean":
+            sums = _aggregate(
+                stacked.column(spec["sum"]), codes, n_groups, "sum"
+            ).astype(np.float64)
+            counts = _aggregate(
+                stacked.column(spec["count"]), codes, n_groups, "sum"
+            ).astype(np.float64)
+            with np.errstate(invalid="ignore", divide="ignore"):
+                values = sums / counts
+        else:
+            values = _aggregate(
+                stacked.column(spec["partial"]), codes, n_groups, spec["func"]
+            )
+        cols[spec["label"]] = Column.from_values(values)
+    if args.get("output") == "series":
+        label = args["outputs"][0]["label"]
+        return Series(cols[label], index=gb._key_index(), name=args.get("name"))
+    if args.get("as_index", True):
+        return DataFrame.from_columns(cols, index=gb._key_index())
+    out = dict(gb._key_columns())
+    out.update(cols)
+    return DataFrame.from_columns(out)
+
+
+def _stack_inputs(backend, inputs) -> DataFrame:
+    pieces = [
+        piece.materialize()
+        if isinstance(piece, PartitionStream)
+        else backend.materialize(piece)
+        for piece in inputs
+    ]
+    if len(pieces) == 1:
+        return pieces[0]
+    return concat_consuming(pieces)
+
+
+# -- broadcast merge ---------------------------------------------------
+
+
+def broadcast_merge(backend, node, inputs):
+    """Merge a streamed left side against a small materialized right
+    side, one partition at a time (the broadcast-join fast path)."""
+    stream, right = inputs
+    right_frame = (
+        right.materialize()
+        if isinstance(right, PartitionStream)
+        else backend.materialize(right)
+    )
+    # each piece re-owns its payload so the source partition (whose
+    # heap store a plain merge result would share) can die immediately
+    pieces = [
+        _owned_frame(part.merge(right_frame, **node.args))
+        for part in stream
+    ]
+    if not pieces:
+        return backend.from_pandas(
+            stream.empty_frame().merge(right_frame, **node.args)
+        )
+    if len(pieces) == 1:
+        return backend.from_pandas(pieces[0])
+    return backend.from_pandas(concat_consuming(pieces))
+
+
+# -- session context ---------------------------------------------------
+
+
+def _iter_parts(backend, value):
+    """Iterate a value as partition frames; eager values are one part."""
+    if isinstance(value, PartitionStream):
+        return iter(value), value.empty_frame
+    frame = backend.materialize(value)
+    empty = np.empty(0, dtype=np.int64)
+    return iter([frame]), (lambda: frame.take(empty))
+
+
+def _current_manager():
+    from repro.memory import current_memory_manager
+
+    return current_memory_manager()
+
+
+def _spill_dir():
+    try:
+        from repro.core.session import current_session
+
+        value = current_session().options.get("memory.spill_dir")
+        return str(value) if value is not None else None
+    except Exception:
+        return None

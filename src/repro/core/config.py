@@ -22,12 +22,20 @@ key                                       default
 ``optimizer.projection_pushdown``         True       required-column inference
 ``optimizer.metadata``                    True       metastore dtype hints (section 3.6)
 ``optimizer.partition_pruning``           True       stats-driven scan partition pruning
+``optimizer.shuffle``                     True       lower oversized merge/groupby into
+                                                     the partition-wise shuffle pipeline
+``optimizer.shuffle_partitions``          None       bucket count P (None = derived
+                                                     from byte estimates)
+``optimizer.shuffle_threshold_bytes``     None       shuffle/broadcast size limit
+                                                     (None = memory.budget headroom)
 ``executor.cache``                        True       live_df persistence (section 3.5)
 ``executor.strategy``                     "serial"   scheduler strategy (serial /
                                                      threaded / fused); env default
                                                      via ``LAFP_EXECUTOR_STRATEGY``
 ``executor.max_workers``                  4          threaded-strategy pool size
 ``memory.budget``                         None       per-session simulated byte budget
+``memory.spill_dir``                      None       shuffle spill directory (None =
+                                                     system temp dir)
 ``workload.data_dir``                     None       dataset dir for benchmark programs
 ``workload.result_dir``                   None       result dir for benchmark programs
 ``workload.source_format``                None       physical source format axis
@@ -187,6 +195,12 @@ def _validate_positive_int(value: object) -> None:
         raise OptionError(f"expected a positive int, got {value!r}")
 
 
+def _validate_optional_positive_int(value: object) -> None:
+    if value is None:
+        return
+    _validate_positive_int(value)
+
+
 def _validate_optional_bytes(value: object) -> None:
     if value is None:
         return
@@ -223,6 +237,37 @@ register_option(
     "memory.budget", None,
     doc="Per-session simulated memory budget in bytes (None = unbudgeted). "
         "Each session's allocations count only against its own budget.",
+    validator=_validate_optional_bytes,
+)
+register_option(
+    "memory.spill_dir", None,
+    doc="Directory shuffle buckets spill to when headroom runs out "
+        "(None = the system temp dir); each store gets its own "
+        "mkdtemp underneath, removed on close.",
+    validator=_validate_optional_str,
+)
+register_option(
+    "optimizer.shuffle", True,
+    doc="Lower oversized merge / groupby-agg nodes over partitioned "
+        "scans into the hash-partition -> spill -> stream pipeline "
+        "(shuffle_write / shuffle_read / partial_agg / combine_agg). "
+        "Only fires when a size limit exists: optimizer."
+        "shuffle_threshold_bytes if set, else the memory.budget "
+        "headroom. Lazy engines (the Dask sim) are never lowered.",
+    validator=_validate_bool,
+)
+register_option(
+    "optimizer.shuffle_partitions", None,
+    doc="Bucket count P for lowered shuffles (None = derived from the "
+        "scan byte estimates so one bucket is roughly a quarter of the "
+        "size limit, clamped to [2, 32]).",
+    validator=_validate_optional_positive_int,
+)
+register_option(
+    "optimizer.shuffle_threshold_bytes", None,
+    doc="Estimated-bytes limit above which merge / groupby inputs are "
+        "shuffled and below which a merge side may be broadcast "
+        "(None = use the current memory.budget headroom).",
     validator=_validate_optional_bytes,
 )
 register_option(

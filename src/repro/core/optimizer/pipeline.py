@@ -17,6 +17,7 @@ from repro.core.optimizer.predicate_pushdown import (
     push_down_predicates,
 )
 from repro.core.optimizer.projection import push_down_projections
+from repro.core.optimizer.shuffle import lower_shuffle_nodes
 
 
 def optimize(
@@ -33,7 +34,8 @@ def optimize(
     """
     opts = session.options
     report = {"cse": 0, "pushdown": 0, "scan_fold": 0, "projection": 0,
-              "metadata": 0, "pruned_partitions": 0, "persisted": 0}
+              "metadata": 0, "pruned_partitions": 0, "shuffle_lowered": 0,
+              "persisted": 0}
     if opts.get("optimizer.common_subexpression"):
         report["cse"] = eliminate_common_subexpressions(roots)
     if opts.get("optimizer.predicate_pushdown"):
@@ -52,6 +54,11 @@ def optimize(
     report["pruned_partitions"] = prune_scan_partitions(
         roots, session.metastore,
         prune=bool(opts.get("optimizer.partition_pruning")),
+    )
+    # After pruning stamped per-scan byte estimates: lower oversized
+    # merge/groupby nodes into the partition-wise shuffle pipeline.
+    report["shuffle_lowered"] = lower_shuffle_nodes(
+        roots, session, live_nodes,
     )
     cache = opts.get("executor.cache")
     if cache and live_nodes:

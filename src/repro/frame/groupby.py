@@ -13,7 +13,7 @@ Grouping factorizes the key tuple to dense codes (see
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Union
+from typing import Dict, List, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -206,6 +206,27 @@ class FrameGroupBy:
         if isinstance(spec, str):
             return self._agg_all(spec)
         return self._parent.agg(spec)
+
+
+def partial_aggregate(
+    frame: DataFrame, keys: Sequence[str], pairs: Sequence[Tuple[str, str, str]]
+) -> DataFrame:
+    """One shuffle/partial-aggregation step: group ``frame`` by ``keys``
+    and emit the key columns as data plus one labeled column per
+    ``(column, func, label)`` pair.
+
+    This is the kernel behind the ``partial_agg`` operator: applied
+    per scan partition with decomposed functions (then re-aggregated by
+    ``combine_agg``), or per shuffle bucket with the final functions
+    (each group lives entirely in one bucket, so the result is exact).
+    """
+    gb = GroupBy(frame, list(keys), as_index=False)
+    codes, _, n_groups = gb._factorize()
+    out: Dict[str, Column] = dict(gb._key_columns())
+    for column, func, label in pairs:
+        values = _aggregate(frame.column(column), codes, n_groups, func)
+        out[label] = Column.from_values(values)
+    return DataFrame.from_columns(out)
 
 
 def _aggregate(column: Column, codes: np.ndarray, n_groups: int, func: str) -> np.ndarray:

@@ -120,6 +120,22 @@ def _gather(column: Column, indices: np.ndarray) -> Column:
     safe = np.where(indices < 0, 0, indices)
     if not has_na:
         return column.take(safe)
+    if len(column) == 0:
+        # every index is a miss (nothing to clip to): build the all-NA
+        # output in the promoted dtype directly
+        n = len(indices)
+        if column.is_category:
+            return Column.from_codes(
+                np.full(n, -1, dtype=np.int64), column.categories
+            )
+        kind = column.values.dtype.kind
+        if kind in "ibf":
+            return Column(np.full(n, np.nan, dtype=np.float64))
+        if kind == "M":
+            return Column(
+                np.full(n, np.datetime64("NaT"), dtype=column.values.dtype)
+            )
+        return Column(np.full(n, None, dtype=object))
     if column.is_category:
         codes = column.values[safe].copy()
         codes[indices < 0] = -1

@@ -442,6 +442,83 @@ register_op(OpSpec(
 # by name at all -- they used to over-claim ALL_COLUMNS by default.
 register_op(OpSpec("merge", mod_attrs=_NO_COLS, used_attrs=_merge_used))
 register_op(OpSpec("concat", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+
+
+# Shuffle-lowering operators.  These are never built by user code: the
+# optimizer pass in ``repro.core.optimizer.shuffle`` rewrites oversized
+# ``merge`` / ``groupby_agg`` nodes over partitioned scans into a
+# hash-partition -> spill -> stream pipeline built from these four ops.
+
+def _shuffle_write_mod(node: Node) -> Set[str]:
+    # the appended row-position column used to restore merge row order
+    pos = node.args.get("pos_name")
+    return {pos} if pos else set()
+
+
+def _partial_agg_used(node: Node) -> Set[str]:
+    out: Set[str] = set(node.args.get("keys") or ())
+    for col, _func, _label in node.args.get("pairs") or ():
+        out.add(col)
+    return out
+
+
+def _partial_agg_mod(node: Node) -> Set[str]:
+    return {label for _col, _func, label in node.args.get("pairs") or ()}
+
+
+def _combine_agg_used(node: Node) -> Set[str]:
+    if node.args.get("kind") == "merge":
+        return set(node.args.get("pos_names") or ())
+    out: Set[str] = set(node.args.get("keys") or ())
+    for spec in node.args.get("outputs") or ():
+        if spec.get("mode") == "mean":
+            out.add(spec["sum"])
+            out.add(spec["count"])
+        else:
+            out.add(spec["partial"])
+    return out
+
+
+def _combine_agg_mod(node: Node) -> Set[str]:
+    if node.args.get("kind") == "merge":
+        return set()
+    return {spec["label"] for spec in node.args.get("outputs") or ()}
+
+
+register_op(OpSpec(
+    # hash-split one input's partitions into P spillable buckets; the
+    # result is a ShuffleStore, not a frame
+    "shuffle_write",
+    mod_attrs=_shuffle_write_mod,
+    used_attrs=_arg_cols("keys"),
+))
+register_op(OpSpec(
+    # read one bucket back out of a ShuffleStore as an eager frame
+    "shuffle_read",
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
+))
+register_op(OpSpec(
+    # identity rebuild with payload-owning columns: cuts the heap-store
+    # sharing chain so a bucket-local result does not pin its (much
+    # larger) input bucket's string payload until the final combine
+    "compact",
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
+))
+register_op(OpSpec(
+    # per-partition partial aggregation: keys + labeled partial columns
+    "partial_agg",
+    mod_attrs=_partial_agg_mod,
+    used_attrs=_partial_agg_used,
+))
+register_op(OpSpec(
+    # fan-in: re-aggregate stacked partials, or restitch merged buckets
+    # back into the in-memory row order via the position columns
+    "combine_agg",
+    mod_attrs=_combine_agg_mod,
+    used_attrs=_combine_agg_used,
+))
 register_op(OpSpec(
     "head", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, row_preserving=False,
 ))

@@ -22,6 +22,21 @@ from repro.graph.taskgraph import (
 )
 
 
+#: pure shuffle-pipeline ops: re-running one against its materialized
+#: inputs is side-effect-free, so an OOM can spill-and-retry.  The
+#: stream-consuming variants (broadcast merge, streamed partial_agg)
+#: are excluded by the PartitionStream input check.
+_OOM_RETRYABLE_OPS = frozenset({"merge", "compact", "partial_agg"})
+
+
+def _oom_retryable(node: Node, inputs: List[object]) -> bool:
+    if node.op not in _OOM_RETRYABLE_OPS:
+        return False
+    from repro.io.spill import PartitionStream
+
+    return not any(isinstance(v, PartitionStream) for v in inputs)
+
+
 class Scheduler:
     """Runs task subgraphs against a backend (one strategy per class).
 
@@ -118,7 +133,7 @@ class Scheduler:
         rel_before = memory.total_released
         started = time.perf_counter()
         inputs = [inp.result for inp in node.inputs]
-        value = self.backend.apply(node, inputs)
+        value = self._apply_with_spill_retry(node, inputs)
         if node.persist:
             # Section 3.5: persist shared subexpressions.  On lazy
             # backends this materializes (and pins) the partitions.
@@ -140,6 +155,52 @@ class Scheduler:
                 stats.record_scan(
                     len(kept) if kept is not None else total, total
                 )
+        elif node.op == "shuffle_write":
+            stats.record_shuffle(
+                int(getattr(value, "n_buckets", 0)),
+                int(getattr(value, "bytes_spilled", 0)),
+            )
+        elif node.op == "merge" and inputs:
+            from repro.io.spill import PartitionStream
+
+            if isinstance(inputs[0], PartitionStream):
+                stats.record_broadcast_join()
+
+    def _apply_with_spill_retry(self, node: Node,
+                                inputs: List[object]) -> object:
+        """Run the backend call; under shuffle memory pressure, spill
+        and retry pure pipeline ops instead of surfacing the OOM.
+
+        Concurrent bucket pipelines can each pass their headroom checks
+        and then allocate together past the budget.  The ops in
+        ``_OOM_RETRYABLE_OPS`` are pure functions of already-materialized
+        inputs, so when one OOMs we spill every live shuffle store, back
+        off while the other pipelines' in-flight results (which no spill
+        can reach) complete and release, and re-run it.  Anything else
+        -- stream-consuming ops, ordinary user plans with no live store
+        -- keeps the existing fail-fast OOM semantics.
+        """
+        from repro.memory.manager import SimulatedMemoryError
+
+        try:
+            return self.backend.apply(node, inputs)
+        except SimulatedMemoryError:
+            if not _oom_retryable(node, inputs):
+                raise
+            from repro.io.spill import live_store_count, spill_live_stores
+
+            attempts = 8
+            for attempt in range(attempts):
+                freed = spill_live_stores(1 << 62)
+                if freed <= 0 and live_store_count() == 0:
+                    raise
+                time.sleep(0.005 * (attempt + 1))
+                try:
+                    return self.backend.apply(node, inputs)
+                except SimulatedMemoryError:
+                    if attempt == attempts - 1:
+                        raise
+            raise  # pragma: no cover - loop always returns or raises
 
     @staticmethod
     def _release_inputs(node: Node, refcounts: Dict[int, int],

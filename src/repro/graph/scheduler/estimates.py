@@ -98,7 +98,25 @@ def _estimate(
 ) -> Optional[int]:
     op = node.op
     if op == "scan":
+        if node.args.get("stream"):
+            # a streaming scan materializes nothing up front; its
+            # consumer pays per partition
+            return _SCALAR_BYTES
         return _scan_estimate(node, metastore)
+    if op in ("shuffle_write", "shuffle_read"):
+        # working set of the write, output size of the read: one bucket
+        total = node.args.get("est_total")
+        if total is None:
+            return None
+        buckets = max(1, int(node.args.get("n_buckets", 1)))
+        return max(1, int(total) // buckets)
+    if op == "partial_agg":
+        # bounded by one partition of partials
+        total = node.args.get("est_total")
+        if total is None:
+            return None
+        parts = max(1, int(node.args.get("n_parts", 1)))
+        return max(1, int(total) // parts)
     if op == "read_csv":
         return _read_csv_estimate(node, metastore)
     if op in ("from_data", "from_pandas"):
@@ -118,7 +136,7 @@ def _estimate(
     if op in ("head", "tail"):
         # a handful of rows: negligible next to its input.
         return min(widest, 4096)
-    if op in ("merge", "concat"):
+    if op in ("merge", "concat", "combine_agg"):
         return sum(
             e for e in (estimates.get(inp.id) for inp in node.inputs)
             if e is not None

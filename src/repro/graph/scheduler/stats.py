@@ -65,6 +65,12 @@ class ExecutionStats:
         #: (pruning shows up as read < total).
         self.partitions_read = 0
         self.partitions_total = 0
+        #: shuffle accounting: buckets written by shuffle_write nodes,
+        #: bytes their stores pushed to spill files, and merges that
+        #: took the broadcast fast path instead of shuffling.
+        self.shuffle_partitions = 0
+        self.bytes_spilled = 0
+        self.broadcast_joins = 0
         #: the session manager's high-water mark when the run finished.
         #: The manager's peak is *not* reset per run (the workload runner
         #: measures whole-program peaks on the same manager), so this can
@@ -104,6 +110,15 @@ class ExecutionStats:
             self.partitions_read += partitions_read
             self.partitions_total += partitions_total
 
+    def record_shuffle(self, n_buckets: int, bytes_spilled: int) -> None:
+        with self._lock:
+            self.shuffle_partitions += n_buckets
+            self.bytes_spilled += bytes_spilled
+
+    def record_broadcast_join(self) -> None:
+        with self._lock:
+            self.broadcast_joins += 1
+
     def record_cache_hit(self) -> None:
         with self._lock:
             self.cache_hits += 1
@@ -136,6 +151,9 @@ class ExecutionStats:
             "bytes_estimated": self.bytes_estimated,
             "partitions_read": self.partitions_read,
             "partitions_total": self.partitions_total,
+            "shuffle_partitions": self.shuffle_partitions,
+            "bytes_spilled": self.bytes_spilled,
+            "broadcast_joins": self.broadcast_joins,
             "manager_peak_bytes": self.manager_peak_bytes,
             "nodes": [stat.to_dict() for stat in self.nodes],
         }
@@ -163,6 +181,13 @@ class ExecutionStats:
                 f"scan partitions read: {self.partitions_read}"
                 f"/{self.partitions_total}"
             )
+        if self.shuffle_partitions:
+            lines.append(
+                f"shuffle buckets: {self.shuffle_partitions} "
+                f"(spilled {self.bytes_spilled}B)"
+            )
+        if self.broadcast_joins:
+            lines.append(f"broadcast joins: {self.broadcast_joins}")
         for stat in self.nodes:
             label = f" {stat.label}" if stat.label else ""
             estimate = (

@@ -7,6 +7,12 @@ chains stay in program order), releases inputs under one coordination
 lock as their last consumer finishes (the section-2.6 eager release made
 thread-safe), and guards each node's result slot with a per-node lock.
 
+The ready queue is a priority heap ordered by (estimated bytes released
+by running the node, node id): nodes that free the most tracked memory
+are admitted first, and the node-id tie-break makes the admission order
+deterministic across runs (ROADMAP item 2's arbitrary ties) -- which
+keeps spill-path tests stable.
+
 Memory-aware admission: when the session's manager has a budget, a
 candidate node is admitted only while its *predicted* footprint (the
 per-node byte estimates of :mod:`repro.graph.scheduler.estimates`:
@@ -32,10 +38,10 @@ thread-safe).
 
 from __future__ import annotations
 
+import heapq
 import threading
 import time
-from collections import deque
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.graph.node import Node
 from repro.graph.scheduler.base import Scheduler
@@ -65,15 +71,23 @@ class ThreadedScheduler(Scheduler):
         consumers = consumers_by_id(order)
         node_locks = {node.id: threading.Lock() for node in order}
         cond = threading.Condition()
-        ready: deque = deque()
+        # priority heap: (-estimated bytes released, node id, node) --
+        # deterministic admission, biggest memory release first.
+        ready: List[Tuple[int, int, Node]] = []
         ready_since: Dict[int, float] = {}
         total = len(order)
         state = {"done": 0, "in_flight": 0}
         errors: List[BaseException] = []
 
+        def push_ready(node: Node) -> None:
+            released = sum(
+                self._estimates.get(inp.id, 0) for inp in node.inputs
+            )
+            heapq.heappush(ready, (-released, node.id, node))
+
         now = time.perf_counter()
         for node in ready_nodes(order, dep_counts):
-            ready.append(node)
+            push_ready(node)
             ready_since[node.id] = now
 
         def clear_locked(inp: Node) -> None:
@@ -88,7 +102,7 @@ class ThreadedScheduler(Scheduler):
             for consumer in consumers.get(node.id, ()):
                 dep_counts[consumer.id] -= 1
                 if dep_counts[consumer.id] == 0:
-                    ready.append(consumer)
+                    push_ready(consumer)
                     ready_since[consumer.id] = done_at
             if release:
                 self._release_inputs(node, refcounts, root_ids,
@@ -120,12 +134,13 @@ class ThreadedScheduler(Scheduler):
                 stalled = False
                 while state["done"] < total and not errors:
                     while ready and state["in_flight"] < self.max_workers:
-                        if ready[0].computed:
+                        head = ready[0][2]
+                        if head.computed:
                             # cached (persisted) result; inputs not re-read
                             stats.record_cache_hit()
-                            finish(ready.popleft(), release=False)
+                            finish(heapq.heappop(ready)[2], release=False)
                             continue
-                        if self._throttled(state["in_flight"], ready[0]):
+                        if self._throttled(state["in_flight"], head):
                             # one throttle event per stall, however many
                             # timeout wakeups re-observe it.
                             if not stalled:
@@ -133,7 +148,7 @@ class ThreadedScheduler(Scheduler):
                                 stalled = True
                             break
                         stalled = False
-                        node = ready.popleft()
+                        node = heapq.heappop(ready)[2]
                         state["in_flight"] += 1
                         pool.submit(
                             worker, node,

@@ -12,6 +12,9 @@ Structure (mirrors the engine and scheduler subsystems):
 - :mod:`repro.io.api`       -- ``scan_csv`` / ``scan_jsonl`` /
   ``scan_dataset`` / ``from_pandas`` building LazyFrames over ``scan``
   nodes,
+- :mod:`repro.io.spill`     -- :class:`PartitionStream` (streaming
+  scans) and :class:`ShuffleStore` (spillable hash buckets) backing the
+  shuffle operators,
 - format modules            -- :mod:`~repro.io.csv_source`,
   :mod:`~repro.io.jsonl`, :mod:`~repro.io.dataset`.
 """
@@ -28,6 +31,7 @@ from repro.io.registry import (
     source_capabilities,
 )
 from repro.io.source import DataSource, Partition
+from repro.io.spill import PartitionStream, ShuffleStore
 
 __all__ = [
     "CsvSource",
@@ -36,7 +40,9 @@ __all__ = [
     "DatasetSource",
     "JsonlSource",
     "Partition",
+    "PartitionStream",
     "Predicate",
+    "ShuffleStore",
     "SourceRegistry",
     "SourceSpec",
     "conjuncts_from_mask",

@@ -25,6 +25,7 @@ from repro.io.source import DataSource
 STRUCTURAL_ARGS = frozenset({
     "format", "path", "columns", "predicate", "partitions",
     "partitions_total", "est_bytes", "read_only_cols", "mutated_cols",
+    "stream",
 })
 
 

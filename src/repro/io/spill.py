@@ -1,0 +1,334 @@
+"""Spill-backed staging for the partition-wise shuffle pipeline.
+
+Two pieces back the ``shuffle_write`` / ``shuffle_read`` operators (see
+``repro.core.optimizer.shuffle`` for the lowering pass that emits them):
+
+- :class:`PartitionStream` -- a single-use stream of a scan's partition
+  frames.  ``Backend.scan`` returns one instead of concatenating when
+  the plan marked the scan with ``stream=True``, so downstream shuffle
+  operators see partitions one at a time and peak memory stays at a
+  partition, not the table.
+- :class:`ShuffleStore` -- P hash buckets of frame chunks.  Chunks live
+  in memory (their :class:`~repro.frame.column.Column` buffers charged
+  to the session's ``memory.budget``) until headroom runs out, then are
+  pickled to per-chunk spill files and their buffers released.  Reading
+  a bucket back re-registers the bytes and deletes the file eagerly.
+
+Spill files are pickles of ``(name, Column)`` pairs rather than
+JSONL/CSV: ``Column.__getstate__`` round-trips values, categories, and
+dtype exactly, which the bit-identity contract of the shuffle path
+requires.  The spill directory is a ``tempfile.mkdtemp`` under
+``memory.spill_dir`` (or the system tmpdir) and is removed when the
+store is garbage-collected or explicitly closed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import shutil
+import tempfile
+import threading
+import weakref
+from typing import Callable, Iterator, List, Optional, Union
+
+import numpy as np
+
+from repro.frame.column import Column
+from repro.frame.concat import concat_consuming
+from repro.frame.dataframe import DataFrame
+
+_EMPTY_IDX = np.empty(0, dtype=np.int64)
+
+#: every not-yet-closed store, so headroom pressure in one operator can
+#: spill chunks held by *another* operator's store (a merge keeps two
+#: stores live at once; spilling only your own cannot free the other
+#: side's bytes).  Weak so abandoned stores never pin their chunks.
+_LIVE_STORES: "weakref.WeakSet[ShuffleStore]" = weakref.WeakSet()
+
+
+def live_store_count() -> int:
+    """Number of not-yet-closed stores (a shuffle is in flight)."""
+    return len(_LIVE_STORES)
+
+
+def spill_live_stores(nbytes: int) -> int:
+    """Spill across all live stores, fullest first, until ``nbytes``
+    are freed (or nothing in-memory remains).  Returns bytes freed."""
+    stores = sorted(
+        _LIVE_STORES, key=lambda s: -s.in_memory_bytes()
+    )
+    freed = 0
+    for store in stores:
+        if freed >= nbytes:
+            break
+        freed += store.spill(nbytes - freed)
+    return freed
+
+
+class PartitionStream:
+    """Single-use iterator over a scan's partition frames.
+
+    ``factory`` opens the underlying source scan; ``empty_factory``
+    yields a zero-row frame with the scan's exact output schema (used
+    for empty sources and dtype templates).  ``n_partitions`` is the
+    planned partition count when known.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[], Iterator[DataFrame]],
+        empty_factory: Callable[[], DataFrame],
+        n_partitions: Optional[int] = None,
+    ) -> None:
+        self._factory = factory
+        self._empty_factory = empty_factory
+        self.n_partitions = n_partitions
+        self._consumed = False
+
+    @property
+    def consumed(self) -> bool:
+        return self._consumed
+
+    def __iter__(self) -> Iterator[DataFrame]:
+        if self._consumed:
+            raise RuntimeError(
+                "PartitionStream is single-use and was already consumed"
+            )
+        self._consumed = True
+        return iter(self._factory())
+
+    def empty_frame(self) -> DataFrame:
+        """Zero-row frame with the stream's output schema."""
+        return self._empty_factory()
+
+    def materialize(self) -> DataFrame:
+        """Concatenate the remaining partitions into one eager frame.
+
+        Safety valve for consumers that cannot stream (fallback paths);
+        the shuffle operators never call this.
+        """
+        frames = list(self)
+        if not frames:
+            return self.empty_frame()
+        if len(frames) == 1:
+            return frames[0]
+        out = concat_consuming(frames)
+        assert isinstance(out, DataFrame)
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "consumed" if self._consumed else "pending"
+        return f"<PartitionStream parts={self.n_partitions} {state}>"
+
+
+class _SpilledChunk:
+    """On-disk replacement for an in-memory bucket chunk."""
+
+    __slots__ = ("path", "nbytes")
+
+    def __init__(self, path: str, nbytes: int) -> None:
+        self.path = path
+        self.nbytes = nbytes
+
+
+_Chunk = Union[DataFrame, _SpilledChunk]
+
+
+class ShuffleStore:
+    """Hash-bucket staging area between shuffle_write and shuffle_read.
+
+    The write phase appends per-bucket frame chunks (and may spill);
+    the read phase drains one bucket at a time.  Distinct buckets may
+    be drained from concurrent threads -- all chunk-list mutation is
+    guarded by one lock.
+    """
+
+    def __init__(
+        self, n_buckets: int, spill_dir: Optional[str] = None
+    ) -> None:
+        self.n_buckets = int(n_buckets)
+        self._spill_root = spill_dir
+        self._dir: Optional[str] = None
+        self._chunks: List[List[_Chunk]] = [[] for _ in range(self.n_buckets)]
+        self._template: Optional[DataFrame] = None
+        self._seq = 0
+        self._lock = threading.Lock()
+        self._finalizer: Optional[weakref.finalize] = None
+        #: total bytes written to spill files (monotonic counter)
+        self.bytes_spilled = 0
+        #: number of chunks that hit disk
+        self.spill_chunks = 0
+        #: total in-memory bytes ever appended (monotonic); divided by
+        #: ``n_buckets`` this predicts a bucket's materialized size far
+        #: better than the planner's disk-based estimate.
+        self.appended_bytes = 0
+        _LIVE_STORES.add(self)
+
+    # -- write phase ---------------------------------------------------
+
+    @property
+    def template(self) -> Optional[DataFrame]:
+        return self._template
+
+    def set_template(self, frame: DataFrame) -> None:
+        """Remember a zero-row frame for empty buckets.
+
+        Rebuilt with payload-owning columns: a plain ``take`` would
+        share (and so pin) the source partition's heap payload for the
+        store's whole lifetime."""
+        if self._template is not None:
+            return
+        empty = frame.take(_EMPTY_IDX)
+        cols = {}
+        for name in empty.columns:
+            col = empty.column(name)
+            if col.is_category:
+                cols[name] = Column(
+                    col.values, categories=col.categories
+                )
+            else:
+                cols[name] = Column(col.values)
+        self._template = DataFrame.from_columns(cols)
+
+    def append(self, bucket: int, frame: DataFrame) -> None:
+        if len(frame) == 0:
+            return
+        with self._lock:
+            self._chunks[bucket].append(frame)
+            self.appended_bytes += frame.nbytes
+
+    def bucket_estimate(self) -> int:
+        """Predicted in-memory size of one materialized bucket."""
+        return max(1, self.appended_bytes // max(1, self.n_buckets))
+
+    def in_memory_bytes(self) -> int:
+        with self._lock:
+            return sum(
+                chunk.nbytes
+                for bucket in self._chunks
+                for chunk in bucket
+                if isinstance(chunk, DataFrame)
+            )
+
+    def spill(self, nbytes: int) -> int:
+        """Spill in-memory chunks, largest first, until ``nbytes`` are
+        freed (or nothing in-memory remains).  Returns bytes freed."""
+        with self._lock:
+            resident = [
+                (chunk.nbytes, b, i)
+                for b, bucket in enumerate(self._chunks)
+                for i, chunk in enumerate(bucket)
+                if isinstance(chunk, DataFrame)
+            ]
+            resident.sort(key=lambda t: (-t[0], t[1], t[2]))
+            freed = 0
+            for size, b, i in resident:
+                if freed >= nbytes:
+                    break
+                chunk = self._chunks[b][i]
+                assert isinstance(chunk, DataFrame)
+                self._chunks[b][i] = self._spill_chunk(b, chunk)
+                freed += size
+            return freed
+
+    def spill_all(self) -> int:
+        """Spill every in-memory chunk (out-of-memory recovery)."""
+        return self.spill(1 << 62)
+
+    def _spill_chunk(self, bucket: int, frame: DataFrame) -> _SpilledChunk:
+        path = os.path.join(
+            self._ensure_dir(), f"b{bucket:04d}-{self._seq:06d}.pkl"
+        )
+        self._seq += 1
+        payload = [(name, frame.column(name)) for name in frame.columns]
+        nbytes = frame.nbytes
+        with open(path, "wb") as fh:
+            pickle.dump(payload, fh, protocol=pickle.HIGHEST_PROTOCOL)
+        self.bytes_spilled += nbytes
+        self.spill_chunks += 1
+        # dropping the frame reference releases its tracked buffers
+        return _SpilledChunk(path, nbytes)
+
+    def _ensure_dir(self) -> str:
+        if self._dir is None:
+            root = self._spill_root
+            if root is not None:
+                os.makedirs(root, exist_ok=True)
+            self._dir = tempfile.mkdtemp(prefix="lafp-shuffle-", dir=root)
+            self._finalizer = weakref.finalize(
+                self, shutil.rmtree, self._dir, True
+            )
+        return self._dir
+
+    # -- read phase ----------------------------------------------------
+
+    def read_bucket(self, bucket: int) -> DataFrame:
+        """Drain bucket ``bucket`` into one eager frame (consuming).
+
+        Failure-atomic: the bucket's chunks go back into the store (and
+        no spill file is deleted) if building the output raises, so a
+        :class:`~repro.memory.manager.SimulatedMemoryError` mid-drain --
+        concurrent bucket pipelines can race past the reader's headroom
+        check -- leaves everything in place for a spill-and-retry.
+        """
+        with self._lock:
+            chunks = self._chunks[bucket]
+            self._chunks[bucket] = []
+        try:
+            out = self._build_bucket_frame(chunks)
+        except BaseException:
+            with self._lock:
+                self._chunks[bucket] = chunks + self._chunks[bucket]
+            raise
+        for chunk in chunks:
+            if isinstance(chunk, _SpilledChunk):
+                try:
+                    os.unlink(chunk.path)
+                except OSError:  # pragma: no cover - best effort
+                    pass
+        return out
+
+    def _build_bucket_frame(self, chunks: List[_Chunk]) -> DataFrame:
+        pieces: List[DataFrame] = []
+        for chunk in chunks:
+            if isinstance(chunk, _SpilledChunk):
+                with open(chunk.path, "rb") as fh:
+                    payload = pickle.load(fh)
+                pieces.append(DataFrame.from_columns(dict(payload)))
+            else:
+                pieces.append(chunk)
+        if not pieces:
+            if self._template is None:
+                raise RuntimeError("ShuffleStore has no data and no template")
+            return self._template.take(_EMPTY_IDX)
+        if len(pieces) == 1:
+            return pieces[0]
+        # concat through shallow wrappers: concat_consuming empties the
+        # frames it is given, and these chunks must survive a mid-concat
+        # OOM so the caller can restore them
+        wrappers = [
+            DataFrame.from_columns(
+                {name: piece.column(name) for name in piece.columns}
+            )
+            for piece in pieces
+        ]
+        out = concat_consuming(wrappers)
+        assert isinstance(out, DataFrame)
+        return out
+
+    def close(self) -> None:
+        """Drop all chunks and remove the spill directory."""
+        _LIVE_STORES.discard(self)
+        with self._lock:
+            self._chunks = [[] for _ in range(self.n_buckets)]
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+            self._dir = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"<ShuffleStore buckets={self.n_buckets} "
+            f"spilled={self.bytes_spilled}B>"
+        )

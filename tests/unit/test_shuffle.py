@@ -1,0 +1,532 @@
+"""Partition-wise shuffle execution: lowering, spill, broadcast.
+
+The correctness contract under test everywhere: lowering a merge or
+groupby into the hash-partition -> spill -> stream pipeline must be
+invisible in the collected result -- bit-identical values, dtypes, and
+row order versus the plain in-memory path, across backends and executor
+strategies, whether or not budget pressure forced buckets to disk.
+
+``optimizer.shuffle_threshold_bytes`` stands in for budget headroom so
+the pass fires deterministically on small fixtures; the forced-spill
+suite layers a real ``memory.budget`` on top so the spill machinery
+itself is exercised.
+"""
+
+import gc
+import os
+
+import numpy as np
+import pytest
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.core.session import Session
+
+STRATEGIES = ["serial", "threaded", "fused"]
+BACKENDS = ["pandas", "modin"]
+
+#: forces lowering on the small fixtures (their disk estimates are a
+#: few KB) while leaving room for the tiny right side to broadcast
+THRESHOLD = 2000
+
+AGG_FUNCS = ["sum", "mean", "count", "min", "max", "nunique", "std"]
+
+
+def _write(path, header, rows):
+    with open(path, "w") as f:
+        f.write(header + "\n")
+        for row in rows:
+            f.write(row + "\n")
+    return str(path)
+
+
+@pytest.fixture(scope="module")
+def wide_csv(tmp_path_factory):
+    """1200 rows, 40 duplicate-heavy int keys, an int payload, and a
+    7-value string column (exercises the heap-store payload path)."""
+    rng = np.random.RandomState(0)
+    return _write(
+        tmp_path_factory.mktemp("shuffle") / "wide.csv", "k,v,s",
+        [f"{rng.randint(0, 40)},{i},s{i % 7}" for i in range(1200)],
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_csv(tmp_path_factory):
+    """A right side small enough to broadcast: 10 rows, half-matching."""
+    return _write(
+        tmp_path_factory.mktemp("shuffle") / "tiny.csv", "k,w",
+        [f"{k},{k * 10}" for k in range(0, 20, 2)],
+    )
+
+
+@pytest.fixture(scope="module")
+def spill_left_csv(tmp_path_factory):
+    """4000 rows (~300KB in memory): big enough that a 150KB budget
+    cannot hold both shuffle stores resident."""
+    rng = np.random.RandomState(0)
+    return _write(
+        tmp_path_factory.mktemp("shuffle") / "left.csv", "k,v,s",
+        [f"{rng.randint(0, 40)},{i},s{i % 7}" for i in range(4000)],
+    )
+
+
+@pytest.fixture(scope="module")
+def rightbig_csv(tmp_path_factory):
+    """Too big to broadcast, low join selectivity: 300 non-matching
+    keys plus 8 matching ones, so the join output stays well under the
+    forced-spill budget."""
+    rows = [f"{1000 + i},{i}" for i in range(300)]
+    rows += [f"{i},{i * 10}" for i in range(8)]
+    return _write(
+        tmp_path_factory.mktemp("shuffle") / "rightbig.csv", "k,w", rows
+    )
+
+
+def _equal(a, b) -> bool:
+    """Bit-identical including dtypes, NaN-aware, order-sensitive."""
+    if type(a).__name__ == "Series":
+        if type(b).__name__ != "Series" or a.name != b.name:
+            return False
+        if not np.array_equal(a.index.to_array(), b.index.to_array()):
+            return False
+        return _columns_equal(a.column, b.column)
+    if list(a.columns) != list(b.columns) or len(a) != len(b):
+        return False
+    return all(_columns_equal(a.column(c), b.column(c)) for c in a.columns)
+
+
+def _columns_equal(ca, cb) -> bool:
+    av, bv = ca.to_array(), cb.to_array()
+    if ca.values.dtype != cb.values.dtype:
+        return False
+    if av.dtype.kind == "f":
+        return bool(((av == bv) | ((av != av) & (bv != bv))).all())
+    eq = av == bv
+    if av.dtype == object:
+        # None keys compare elementwise; missing slots must align
+        eq = eq | np.array(
+            [x is None and y is None for x, y in zip(av, bv)]
+        )
+    return bool(np.asarray(eq).all())
+
+
+def _rows_sorted(frame):
+    cols = [frame.column(c).to_array().tolist() for c in frame.columns]
+    return sorted(zip(*cols), key=repr)
+
+
+def _run(pipeline, backend="pandas", strategy="serial", options=None):
+    opts = {"executor.strategy": strategy}
+    opts.update(options or {})
+    with Session(backend=backend, options=opts) as session:
+        out = pipeline().collect()
+        report = dict(session.last_optimize_report)
+        stats = session.last_execution_stats.to_dict()
+    return out, report, stats
+
+
+# ---------------------------------------------------------------------------
+# Equivalence: lowered plans produce bit-identical results.
+# ---------------------------------------------------------------------------
+
+
+class TestMergeEquivalence:
+    @pytest.mark.parametrize("how", ["inner", "left", "right", "outer"])
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_merge_grid(self, wide_csv, rightbig_csv, how, backend, strategy):
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(rightbig_csv, partition_bytes=512)
+            return left.merge(right, on="k", how=how)
+
+        base, report, _ = _run(pipeline)
+        assert report["shuffle_lowered"] == 0
+        out, report, stats = _run(
+            pipeline, backend, strategy,
+            {"optimizer.shuffle_threshold_bytes": 100},
+        )
+        assert report["shuffle_lowered"] == 1
+        assert stats["shuffle_partitions"] > 0
+        assert stats["broadcast_joins"] == 0
+        assert _equal(base, out)
+
+    def test_shuffle_disabled_leaves_plan_alone(self, wide_csv, rightbig_csv):
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(rightbig_csv, partition_bytes=512)
+            return left.merge(right, on="k")
+
+        base, *_ = _run(pipeline)
+        out, report, stats = _run(pipeline, options={
+            "optimizer.shuffle": False,
+            "optimizer.shuffle_threshold_bytes": 100,
+        })
+        assert report["shuffle_lowered"] == 0
+        assert stats["shuffle_partitions"] == 0
+        assert _equal(base, out)
+
+    def test_lazy_backend_never_lowered(self, wide_csv, rightbig_csv):
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(rightbig_csv, partition_bytes=512)
+            return left.merge(right, on="k", how="inner")
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, backend="dask", options={
+            "optimizer.shuffle_threshold_bytes": 100,
+        })
+        assert report["shuffle_lowered"] == 0
+        # the lazy engine shuffles internally and owns its row order:
+        # compare as row multisets
+        assert _rows_sorted(base) == _rows_sorted(out)
+
+
+class TestGroupbyEquivalence:
+    @pytest.mark.parametrize("func", AGG_FUNCS)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_series_agg_strategies(self, wide_csv, func, strategy):
+        def pipeline():
+            df = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            return df.groupby("k")["v"].agg(func)
+
+        base, report, _ = _run(pipeline)
+        assert report["shuffle_lowered"] == 0
+        out, report, stats = _run(pipeline, "pandas", strategy, {
+            "optimizer.shuffle_threshold_bytes": THRESHOLD,
+        })
+        assert report["shuffle_lowered"] == 1
+        if func in ("nunique", "std"):
+            # holistic: must go through the bucketed shuffle
+            assert stats["shuffle_partitions"] > 0
+        else:
+            # decomposable: pure partial aggregation, no shuffle store
+            assert stats["shuffle_partitions"] == 0
+        assert _equal(base, out)
+
+    @pytest.mark.parametrize("func", AGG_FUNCS)
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_series_agg_backends(self, wide_csv, func, backend):
+        def pipeline():
+            df = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            return df.groupby("k")["v"].agg(func)
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, backend, "serial", {
+            "optimizer.shuffle_threshold_bytes": THRESHOLD,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+    @pytest.mark.parametrize("as_index", [True, False])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_agg_multi(self, wide_csv, as_index, strategy):
+        def pipeline():
+            df = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            grouped = df.groupby("k", as_index=as_index)
+            return grouped.agg({"v": ["sum", "mean"], "s": "count"})
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, "pandas", strategy, {
+            "optimizer.shuffle_threshold_bytes": THRESHOLD,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+
+# ---------------------------------------------------------------------------
+# Broadcast fast path.
+# ---------------------------------------------------------------------------
+
+
+class TestBroadcast:
+    @pytest.mark.parametrize("how", ["inner", "left"])
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_small_right_broadcasts(self, wide_csv, tiny_csv, how, strategy):
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(tiny_csv, partition_bytes=512)
+            return left.merge(right, on="k", how=how)
+
+        base, *_ = _run(pipeline)
+        out, report, stats = _run(pipeline, "pandas", strategy, {
+            "optimizer.shuffle_threshold_bytes": THRESHOLD,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert stats["broadcast_joins"] == 1
+        assert stats["shuffle_partitions"] == 0
+        assert stats["bytes_spilled"] == 0
+        assert _equal(base, out)
+
+    def test_right_join_cannot_broadcast(self, wide_csv, tiny_csv):
+        """A right/outer join must see unmatched right rows, which the
+        partition-at-a-time broadcast cannot produce -- full shuffle."""
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(tiny_csv, partition_bytes=512)
+            return left.merge(right, on="k", how="right")
+
+        base, *_ = _run(pipeline)
+        out, report, stats = _run(pipeline, options={
+            "optimizer.shuffle_threshold_bytes": THRESHOLD,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert stats["broadcast_joins"] == 0
+        assert stats["shuffle_partitions"] > 0
+        assert _equal(base, out)
+
+
+# ---------------------------------------------------------------------------
+# Forced spill: real budget pressure pushes buckets to disk.
+# ---------------------------------------------------------------------------
+
+
+class TestForcedSpill:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_merge_spills_and_matches(self, tmp_path, spill_left_csv,
+                                      rightbig_csv, backend, strategy):
+        def pipeline():
+            left = lfp.scan_csv(spill_left_csv, partition_bytes=2048)
+            right = lfp.scan_csv(rightbig_csv, partition_bytes=512)
+            return left.merge(right, on="k", how="inner")
+
+        base, *_ = _run(pipeline)
+        spill_dir = tmp_path / f"spill-{backend}-{strategy}"
+        out, report, stats = _run(pipeline, backend, strategy, {
+            "memory.budget": 150_000,
+            "optimizer.shuffle_threshold_bytes": 100,
+            "memory.spill_dir": str(spill_dir),
+        })
+        assert report["shuffle_lowered"] == 1
+        assert stats["bytes_spilled"] > 0
+        assert stats["shuffle_partitions"] > 0
+        assert stats["broadcast_joins"] == 0
+        assert _equal(base, out)
+        # stores close with the session: no spill files may survive
+        gc.collect()
+        leftover = [
+            os.path.join(root, name)
+            for root, _dirs, names in os.walk(spill_dir)
+            for name in names
+        ]
+        assert leftover == []
+
+    def test_spilled_bytes_deterministic(self, spill_left_csv, rightbig_csv):
+        """The (bytes released, node id) ready-queue tie-break makes the
+        threaded spill volume reproducible run to run."""
+        def pipeline():
+            left = lfp.scan_csv(spill_left_csv, partition_bytes=2048)
+            right = lfp.scan_csv(rightbig_csv, partition_bytes=512)
+            return left.merge(right, on="k", how="inner")
+
+        options = {
+            "memory.budget": 150_000,
+            "optimizer.shuffle_threshold_bytes": 100,
+        }
+        first, _, stats_a = _run(pipeline, strategy="threaded",
+                                 options=options)
+        second, _, stats_b = _run(pipeline, strategy="threaded",
+                                  options=options)
+        assert stats_a["bytes_spilled"] == stats_b["bytes_spilled"]
+        assert stats_a["shuffle_partitions"] == stats_b["shuffle_partitions"]
+        assert _equal(first, second)
+
+    def test_groupby_holistic_under_budget(self, spill_left_csv):
+        def pipeline():
+            df = lfp.scan_csv(spill_left_csv, partition_bytes=2048)
+            return df.groupby("k")["s"].agg("nunique")
+
+        base, *_ = _run(pipeline)
+        out, report, stats = _run(pipeline, options={
+            "memory.budget": 150_000,
+            "optimizer.shuffle_threshold_bytes": 100,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert stats["shuffle_partitions"] > 0
+        assert _equal(base, out)
+
+    def test_groupby_partial_under_budget(self, spill_left_csv):
+        def pipeline():
+            df = lfp.scan_csv(spill_left_csv, partition_bytes=2048)
+            return df.groupby("k")["v"].mean()
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, options={
+            "memory.budget": 150_000,
+            "optimizer.shuffle_threshold_bytes": 100,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+
+# ---------------------------------------------------------------------------
+# Edge cases: duplicate keys, null keys, empty buckets.
+# ---------------------------------------------------------------------------
+
+
+class TestEdgeCases:
+    def test_duplicate_keys_cross_product(self, tmp_path):
+        left = _write(tmp_path / "dl.csv", "k,v",
+                      [f"{i % 3},{i}" for i in range(30)])
+        right = _write(tmp_path / "dr.csv", "k,w",
+                       [f"{i % 3},{i * 10}" for i in range(12)])
+
+        def pipeline():
+            lf = lfp.scan_csv(left, partition_bytes=64)
+            rf = lfp.scan_csv(right, partition_bytes=64)
+            return lf.merge(rf, on="k", how="inner")
+
+        base, *_ = _run(pipeline)
+        assert len(base) == 120  # 3 keys x 10 x 4
+        out, report, _ = _run(pipeline, options={
+            "optimizer.shuffle_threshold_bytes": 10,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+    @pytest.mark.parametrize("how", ["inner", "outer"])
+    def test_null_float_keys(self, tmp_path, how):
+        """Empty CSV fields parse to NaN; the shuffle must route every
+        null to one bucket and reproduce in-memory null-join semantics."""
+        left = _write(
+            tmp_path / "nl.csv", "k,v",
+            [f"{i % 4},{i}" if i % 5 else f",{i}" for i in range(40)],
+        )
+        right = _write(tmp_path / "nr.csv", "k,w",
+                       ["0,100", ",200", "2,300", ",400"])
+
+        def pipeline():
+            lf = lfp.scan_csv(left, partition_bytes=64)
+            rf = lfp.scan_csv(right, partition_bytes=32)
+            return lf.merge(rf, on="k", how=how)
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, options={
+            "optimizer.shuffle_threshold_bytes": 10,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+    def test_null_object_keys(self, tmp_path):
+        left = _write(
+            tmp_path / "ol.csv", "k,v",
+            [f"s{i % 3},{i}" if i % 4 else f",{i}" for i in range(40)],
+        )
+        right = _write(tmp_path / "or.csv", "k,w",
+                       ["s0,100", ",200", "s2,300"])
+
+        def pipeline():
+            lf = lfp.scan_csv(left, partition_bytes=64)
+            rf = lfp.scan_csv(right, partition_bytes=32)
+            return lf.merge(rf, on="k", how="inner")
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, options={
+            "optimizer.shuffle_threshold_bytes": 10,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+    def test_null_keys_groupby(self, tmp_path):
+        data = _write(
+            tmp_path / "gn.csv", "k,v",
+            [f"{i % 4},{i}" if i % 5 else f",{i}" for i in range(60)],
+        )
+
+        def pipeline():
+            return lfp.scan_csv(
+                data, partition_bytes=64
+            ).groupby("k")["v"].agg("nunique")
+
+        base, *_ = _run(pipeline)
+        out, report, _ = _run(pipeline, options={
+            "optimizer.shuffle_threshold_bytes": 10,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert _equal(base, out)
+
+    @pytest.mark.parametrize("strategy", STRATEGIES)
+    def test_empty_buckets(self, tmp_path, strategy):
+        """More buckets than distinct keys: empty buckets must yield
+        empty, correctly-typed pieces, not break the combine."""
+        left = _write(tmp_path / "el.csv", "k,v",
+                      [f"{i % 3},{i}" for i in range(24)])
+        right = _write(tmp_path / "er.csv", "k,w",
+                       [f"{k},{k * 10}" for k in range(3)])
+
+        def pipeline():
+            lf = lfp.scan_csv(left, partition_bytes=64)
+            rf = lfp.scan_csv(right, partition_bytes=32)
+            return lf.merge(rf, on="k", how="outer")
+
+        base, *_ = _run(pipeline)
+        out, report, stats = _run(pipeline, strategy=strategy, options={
+            "optimizer.shuffle_threshold_bytes": 10,
+            "optimizer.shuffle_partitions": 16,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert stats["shuffle_partitions"] == 32  # 16 per side
+        assert _equal(base, out)
+
+    def test_empty_buckets_groupby(self, tmp_path):
+        data = _write(tmp_path / "eg.csv", "k,v",
+                      [f"{i % 3},{i}" for i in range(24)])
+
+        def pipeline():
+            return lfp.scan_csv(
+                data, partition_bytes=64
+            ).groupby("k")["v"].agg("std")
+
+        base, *_ = _run(pipeline)
+        out, report, stats = _run(pipeline, options={
+            "optimizer.shuffle_threshold_bytes": 10,
+            "optimizer.shuffle_partitions": 16,
+        })
+        assert report["shuffle_lowered"] == 1
+        assert stats["shuffle_partitions"] == 16
+        assert _equal(base, out)
+
+
+# ---------------------------------------------------------------------------
+# Stats plumbing.
+# ---------------------------------------------------------------------------
+
+
+class TestStats:
+    def test_counters_in_to_dict_and_render(self, wide_csv, rightbig_csv):
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(rightbig_csv, partition_bytes=512)
+            return left.merge(right, on="k", how="inner")
+
+        with Session(backend="pandas", options={
+            "memory.budget": 150_000,
+            "optimizer.shuffle_threshold_bytes": 100,
+        }) as session:
+            pipeline().collect()
+            stats = session.last_execution_stats
+        d = stats.to_dict()
+        for key in ("bytes_spilled", "shuffle_partitions", "broadcast_joins"):
+            assert key in d
+        rendered = stats.render()
+        assert f"shuffle buckets: {d['shuffle_partitions']}" in rendered
+        assert f"spilled {d['bytes_spilled']}B" in rendered
+
+    def test_broadcast_counter_in_render(self, wide_csv, tiny_csv):
+        def pipeline():
+            left = lfp.scan_csv(wide_csv, partition_bytes=2048)
+            right = lfp.scan_csv(tiny_csv, partition_bytes=512)
+            return left.merge(right, on="k", how="inner")
+
+        with Session(backend="pandas", options={
+            "optimizer.shuffle_threshold_bytes": THRESHOLD,
+        }) as session:
+            pipeline().collect()
+            stats = session.last_execution_stats
+        assert "broadcast joins: 1" in stats.render()
+
+    def test_report_key_always_present(self, wide_csv):
+        with Session(backend="pandas") as session:
+            lfp.scan_csv(wide_csv).collect()
+            assert session.last_optimize_report["shuffle_lowered"] == 0
