@@ -163,16 +163,20 @@ class Evaluator:
         if buckets is None:
             buckets = self._shuffle(expr)
             expr.params["_buckets"] = buckets
-        left_handles, right_handles = buckets
+        (left_handles, left_template), (right_handles, right_template) = (
+            buckets
+        )
         kwargs = expr.params["kwargs"]
-        left = self._gather_bucket(left_handles[bucket])
-        right = self._gather_bucket(right_handles[bucket])
+        left = self._gather_bucket(left_handles[bucket], left_template)
+        right = self._gather_bucket(right_handles[bucket], right_template)
         return left.merge(right, **kwargs)
 
-    def _gather_bucket(self, handles) -> DataFrame:
+    def _gather_bucket(self, handles, template) -> DataFrame:
         frames = [h.get() for h in handles]
         if not frames:
-            return DataFrame({})
+            # zero-row template, not DataFrame({}): an empty bucket
+            # must keep the side's schema or the merge drops columns
+            return template if template is not None else DataFrame({})
         return frames[0] if len(frames) == 1 else concat(frames)
 
     def _shuffle(self, expr: Expr):
@@ -187,8 +191,11 @@ class Evaluator:
 
     def _partition_side(self, side: Expr, keys: List[str], nbuckets: int):
         buckets: List[list] = [[] for _ in range(nbuckets)]
+        template = None
         for i in range(side.npartitions):
             part = self.eval_partition(side, i)
+            if template is None:
+                template = part[np.zeros(len(part), dtype=bool)]
             codes = _bucket_codes(part, keys, nbuckets)
             for b in range(nbuckets):
                 piece = part[codes == b]
@@ -196,7 +203,7 @@ class Evaluator:
                     buckets[b].append(self.store.put(piece))
             del part
             self.store.ensure_headroom()
-        return buckets
+        return buckets, template
 
 
 def _merge_keys(kwargs: dict):

@@ -26,6 +26,22 @@ _POOL = ThreadPoolExecutor(
 )
 
 
+def _rebuild_pool_after_fork() -> None:
+    # A forked child inherits `_POOL` with its worker threads gone --
+    # any `_pmap` in the child would enqueue work nobody drains and
+    # hang.  Rebuild it so the process-executor's fork-started workers
+    # (and any user fork) can run modin partitions.
+    global _POOL
+    _POOL = ThreadPoolExecutor(
+        max_workers=min(4, os.cpu_count() or 1),
+        thread_name_prefix="modin-worker",
+    )
+
+
+if hasattr(os, "register_at_fork"):  # not on Windows
+    os.register_at_fork(after_in_child=_rebuild_pool_after_fork)
+
+
 def _pmap(func: Callable, items: Sequence) -> List:
     """Parallel map over partitions (exceptions propagate).
 

@@ -30,9 +30,16 @@ key                                       default
                                                      (None = memory.budget headroom)
 ``executor.cache``                        True       live_df persistence (section 3.5)
 ``executor.strategy``                     "serial"   scheduler strategy (serial /
-                                                     threaded / fused); env default
-                                                     via ``LAFP_EXECUTOR_STRATEGY``
-``executor.max_workers``                  4          threaded-strategy pool size
+                                                     threaded / fused / process /
+                                                     async); env default via
+                                                     ``LAFP_EXECUTOR_STRATEGY``
+``executor.max_workers``                  4          threaded/process/async pool size
+``executor.static_order``                 True       memory-aware static ordering pass
+``executor.process_retries``              1          re-runs of a task whose process
+                                                     worker died, before ExecutionError
+``executor.process_start_method``         None       multiprocessing start method of the
+                                                     process strategy (None = fork when
+                                                     available)
 ``memory.budget``                         None       per-session simulated byte budget
 ``memory.spill_dir``                      None       shuffle spill directory (None =
                                                      system temp dir)
@@ -223,15 +230,56 @@ register_option(
 register_option(
     "executor.strategy", os.environ.get("LAFP_EXECUTOR_STRATEGY", "serial"),
     doc="Scheduler strategy resolved through the session's "
-        "ExecutorRegistry ('serial', 'threaded', or 'fused'); the "
-        "LAFP_EXECUTOR_STRATEGY env var sets the process default (the CI "
-        "parallel-path leg uses it).",
+        "ExecutorRegistry ('serial', 'threaded', 'fused', 'process', or "
+        "'async'); the LAFP_EXECUTOR_STRATEGY env var sets the process "
+        "default (the CI parallel-path leg uses it).",
     validator=_validate_str,
 )
 register_option(
     "executor.max_workers", 4,
-    doc="Worker-pool size of the threaded scheduler strategy.",
+    doc="Worker-pool size of the threaded, process, and async scheduler "
+        "strategies.",
     validator=_validate_positive_int,
+)
+register_option(
+    "executor.static_order", True,
+    doc="Run the memory-aware static ordering pass (a Sethi-Ullman-style "
+        "DFS over per-node byte estimates) before executing: the serial "
+        "and fused strategies follow it as their execution order, the "
+        "threaded/process/async heaps use it as the tie-break ahead of "
+        "the node id.  Purely an ordering choice among independent "
+        "nodes; results are unaffected.",
+    validator=_validate_bool,
+)
+
+
+def _validate_non_negative_int(value: object) -> None:
+    if isinstance(value, bool) or not isinstance(value, int) or value < 0:
+        raise OptionError(f"expected a non-negative int, got {value!r}")
+
+
+def _validate_start_method(value: object) -> None:
+    if value is not None and value not in ("fork", "spawn", "forkserver"):
+        raise OptionError(
+            f"expected None, 'fork', 'spawn' or 'forkserver', got {value!r}"
+        )
+
+
+register_option(
+    "executor.process_retries", 1,
+    doc="How many times the process strategy re-runs a shipped task "
+        "whose worker died (BrokenProcessPool) before raising "
+        "ExecutionError.  Shipped tasks are pure, so re-running is "
+        "always safe.",
+    validator=_validate_non_negative_int,
+)
+register_option(
+    "executor.process_start_method", None,
+    doc="multiprocessing start method of the process strategy's worker "
+        "pool (None = 'fork' where available, else the platform "
+        "default).  'spawn'/'forkserver' workers import the package "
+        "fresh; 'fork' inherits the parent and is much faster to start.",
+    validator=_validate_start_method,
 )
 register_option(
     "memory.budget", None,

@@ -34,6 +34,7 @@ on as deprecation shims in :mod:`repro.core.compat`.
 
 from __future__ import annotations
 
+import os
 import threading
 import warnings
 import weakref
@@ -53,6 +54,15 @@ from repro.memory.manager import MemoryManager, memory_manager as _root_memory
 
 #: "the memory.budget option has never written through to the manager".
 _BUDGET_UNSYNCED = object()
+
+
+def _shutdown_pool(pool) -> None:
+    """Best-effort pool shutdown (module-level so a session finalizer
+    never keeps the session alive through its own cell)."""
+    try:
+        pool.shutdown(wait=True, cancel_futures=True)
+    except Exception:  # noqa: BLE001 - already-broken pools may raise
+        pass
 
 
 class Session:
@@ -98,6 +108,12 @@ class Session:
         #: The node registry only ever grows, so its size is a cheap
         #: version stamp for "was any node built since the last gate?".
         self._analysis_cache: Dict[tuple, tuple] = {}
+        #: lazily-created process-strategy worker pool (see
+        #: :meth:`process_pool`), its creation key, and the finalizer
+        #: that shuts it down when the session is garbage-collected.
+        self._process_pool = None
+        self._process_pool_key: Optional[tuple] = None
+        self._pool_finalizer: Optional[weakref.finalize] = None
 
     # -- options -----------------------------------------------------------
 
@@ -188,9 +204,64 @@ class Session:
             session=self,
             memory=self.memory,
             max_workers=int(self.options.get("executor.max_workers")),
+            static_order=bool(self.options.get("executor.static_order")),
         )
         scheduler.requested_strategy = requested
         return scheduler
+
+    def process_pool(self):
+        """The session's shared process-strategy worker pool.
+
+        Created on first use by :class:`~repro.graph.scheduler.process.
+        ProcessScheduler` and reused across ``collect()`` calls (forking
+        a pool per execution would dominate small plans); resized when
+        ``executor.max_workers`` changes.  ``close()`` shuts it down; a
+        finalizer does the same when the session is garbage-collected.
+        """
+        from repro.graph.scheduler.process import create_worker_pool
+
+        workers = int(self.options.get("executor.max_workers"))
+        start_method = self.options.get("executor.process_start_method")
+        key = (workers, start_method, self.backend_name.lower())
+        if self._process_pool is not None and self._process_pool_key != key:
+            self.close_pool()
+        if self._process_pool is None:
+            self._process_pool = create_worker_pool(
+                workers, start_method, self.backend_name.lower()
+            )
+            self._process_pool_key = key
+            self._pool_finalizer = weakref.finalize(
+                self, _shutdown_pool, self._process_pool
+            )
+        return self._process_pool
+
+    def discard_pool(self, pool) -> None:
+        """Forget ``pool`` (it broke); a fresh one is built on next use."""
+        if self._process_pool is pool:
+            self._process_pool = None
+            if self._pool_finalizer is not None:
+                self._pool_finalizer.detach()
+                self._pool_finalizer = None
+        _shutdown_pool(pool)
+
+    def close_pool(self) -> None:
+        """Shut down the process-strategy worker pool, if one exists."""
+        pool, self._process_pool = self._process_pool, None
+        if self._pool_finalizer is not None:
+            self._pool_finalizer.detach()
+            self._pool_finalizer = None
+        if pool is not None:
+            _shutdown_pool(pool)
+
+    def close(self) -> None:
+        """Release the session's external resources (worker pools).
+
+        Idempotent; the session remains usable afterwards (pools are
+        recreated on demand).  ``with Session(...)`` blocks do *not*
+        close on exit -- a session can be re-entered -- so servers that
+        own long-lived sessions call this explicitly.
+        """
+        self.close_pool()
 
     # -- activation --------------------------------------------------------
 
@@ -494,6 +565,18 @@ def _stack() -> List[Session]:
         stack = []
         _tls.stack = stack
     return stack
+
+
+def _clear_stack_after_fork() -> None:
+    # A forked child (e.g. a process-strategy worker) inherits the
+    # forking thread's active-session stack; those sessions -- and
+    # their memory budgets -- belong to the parent, so the child
+    # starts from the root session.
+    _stack().clear()
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_clear_stack_after_fork)
 
 
 def current_session() -> Session:

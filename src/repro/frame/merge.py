@@ -18,6 +18,16 @@ from repro.frame.column import Column
 from repro.frame.dataframe import DataFrame
 
 
+def _as_eager(frame):
+    if isinstance(frame, DataFrame):
+        return frame
+    if hasattr(frame, "to_pandas"):
+        return frame.to_pandas()
+    if hasattr(frame, "compute"):
+        return frame.compute()
+    return frame
+
+
 def merge(
     left: DataFrame,
     right: DataFrame,
@@ -30,6 +40,12 @@ def merge(
     """Join two frames on equality of key columns."""
     if how not in ("inner", "left", "right", "outer"):
         raise ValueError(f"unsupported how={how!r}")
+    # Mixed-representation joins: a plan can hand an eager left a
+    # partitioned or lazy right (e.g. modin scan -> eager head ->
+    # merge); a frame exposing to_pandas() / compute() collapses to
+    # its eager form here.
+    left = _as_eager(left)
+    right = _as_eager(right)
     left_keys, right_keys = _resolve_keys(left, right, on, left_on, right_on)
 
     left_idx, right_idx = _match_rows(left, right, left_keys, right_keys, how)

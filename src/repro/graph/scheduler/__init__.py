@@ -14,7 +14,16 @@ Strategies shipped:
 - ``threaded`` -- ready-queue parallel execution with memory-aware
   admission (needs an engine with ``supports_parallel_apply``),
 - ``fused``    -- linear-chain fusion to cut scheduling overhead on
-  deep-chain workloads.
+  deep-chain workloads,
+- ``process``  -- fused chains shipped to a ProcessPoolExecutor through
+  the pickle seam, for CPU-bound operators the GIL serializes,
+- ``async``    -- asyncio event-loop scheduling, the seam a server
+  needs to multiplex many concurrent collects over one pool.
+
+Every strategy consumes the memory-aware static ordering pass
+(:mod:`repro.graph.scheduler.order`, ``executor.static_order``): the
+serial/fused loops follow it directly, the parallel heaps use it as
+their tie-break.
 """
 
 from __future__ import annotations
@@ -22,8 +31,10 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, Iterable, List
 
-from repro.graph.scheduler.base import Scheduler
+from repro.graph.scheduler.async_ import AsyncScheduler
+from repro.graph.scheduler.base import ExecutionError, Scheduler
 from repro.graph.scheduler.fused import FusedScheduler, fuse_linear_chains
+from repro.graph.scheduler.process import ProcessScheduler
 from repro.graph.scheduler.serial import SerialScheduler
 from repro.graph.scheduler.stats import ExecutionStats, NodeStat
 from repro.graph.scheduler.threaded import ThreadedScheduler
@@ -80,7 +91,7 @@ class ExecutorRegistry:
         return str(name).lower() in self._specs
 
 
-#: The stock registry with the three shipped strategies.
+#: The stock registry with the five shipped strategies.
 DEFAULT_EXECUTORS = ExecutorRegistry([
     SchedulerSpec(
         "serial", SerialScheduler,
@@ -95,15 +106,30 @@ DEFAULT_EXECUTORS = ExecutorRegistry([
         "fused", FusedScheduler,
         description="serial over fused linear single-consumer chains",
     ),
+    SchedulerSpec(
+        "process", ProcessScheduler,
+        requires_parallel_apply=True,
+        description="fused chains shipped to a process pool via the "
+                    "pickle seam; inline fallback for unpicklable tasks",
+    ),
+    SchedulerSpec(
+        "async", AsyncScheduler,
+        requires_parallel_apply=True,
+        description="asyncio event-loop scheduling with an awaitable "
+                    "execute_async for concurrent collects",
+    ),
 ])
 
 
 __all__ = [
+    "AsyncScheduler",
     "DEFAULT_EXECUTORS",
+    "ExecutionError",
     "ExecutionStats",
     "ExecutorRegistry",
     "FusedScheduler",
     "NodeStat",
+    "ProcessScheduler",
     "Scheduler",
     "SchedulerSpec",
     "SerialScheduler",

@@ -29,6 +29,13 @@ from repro.graph.taskgraph import (
 _OOM_RETRYABLE_OPS = frozenset({"merge", "compact", "partial_agg"})
 
 
+class ExecutionError(RuntimeError):
+    """A strategy failed to complete a plan for an infrastructure
+    reason (e.g. the process pool's workers kept dying), as opposed to
+    the plan itself raising.  The scheduler guarantees budget and spill
+    files were reclaimed before this surfaces."""
+
+
 def _oom_retryable(node: Node, inputs: List[object]) -> bool:
     if node.op not in _OOM_RETRYABLE_OPS:
         return False
@@ -49,17 +56,25 @@ class Scheduler:
     name = "abstract"
 
     def __init__(self, backend, *, session=None,
-                 memory=None, max_workers: Optional[int] = None):
+                 memory=None, max_workers: Optional[int] = None,
+                 static_order: bool = True):
         self.backend = backend
         self.session = session
         self._memory = memory
         self.max_workers = max(1, int(max_workers or 1))
+        #: apply the memory-aware static ordering pass
+        #: (``executor.static_order``) before running.
+        self.static_order = bool(static_order)
         #: the strategy the caller asked for, when a capability fallback
         #: substituted this scheduler (stats report both).
         self.requested_strategy: Optional[str] = None
         self.last_stats: Optional[ExecutionStats] = None
         #: node id -> predicted output bytes (filled per execute()).
         self._estimates: Dict[int, int] = {}
+        #: node id -> static priority (filled per execute() when the
+        #: ordering pass ran); parallel strategies use it as the heap
+        #: tie-break ahead of the node id.
+        self._priorities: Dict[int, int] = {}
 
     # -- memory ----------------------------------------------------------
 
@@ -78,38 +93,75 @@ class Scheduler:
 
         Statistics of the run land in :attr:`last_stats`.
         """
+        stats = self._begin_stats()
+        order, refcounts, root_ids = self._plan(roots, stats)
+        started = time.perf_counter()
+        try:
+            self._run(order, refcounts, root_ids, stats)
+            results = self._materialize_roots(roots)
+        finally:
+            # finalized even when a node raises (OOM cells included):
+            # the session publishes these stats either way.
+            stats.wall_seconds = time.perf_counter() - started
+            stats.manager_peak_bytes = self.memory.peak
+        return results
+
+    # -- planning (shared by execute and AsyncScheduler.execute_async) ----
+
+    def _begin_stats(self) -> ExecutionStats:
         stats = ExecutionStats(
             strategy=self.requested_strategy or self.name,
             effective_strategy=self.name,
             max_workers=self.max_workers,
         )
         self.last_stats = stats
+        return stats
+
+    def _plan(self, roots: Sequence[Node], stats: ExecutionStats):
+        """Cull, estimate, and statically order the subgraph.
+
+        Estimates and priorities *merge* into the scheduler's maps
+        (node ids are process-unique), so one async scheduler can plan
+        several concurrent executions without clobbering its own state.
+        """
         order = topological_order(roots)
         needed = needed_nodes(roots)
         order = [n for n in order if n.id in needed]
-        refcounts = initial_refcounts(order)
         root_ids = {r.id for r in roots}
         # Per-node size predictions (width x rows from source statistics,
         # propagated through operators): admission control asks them
         # whether a candidate fits the remaining memory headroom, and
         # stats record them next to the actual bytes.
         from repro.graph.scheduler.estimates import estimate_node_bytes
+        from repro.graph.scheduler.order import (
+            priority_topological_order,
+            simulate_peak_bytes,
+            static_priorities,
+        )
 
-        self._estimates = estimate_node_bytes(order, self.session)
+        self._estimates.update(estimate_node_bytes(order, self.session))
+        if self.static_order:
+            # Memory-aware static ordering (ROADMAP item 2): finish the
+            # branch that frees the most bytes first.  Serial strategies
+            # follow the reordered list directly; parallel ones use the
+            # priorities as their heap tie-break.
+            self._priorities.update(
+                static_priorities(order, self._estimates)
+            )
+            order = priority_topological_order(order, self._priorities)
+        refcounts = initial_refcounts(order)
+        stats.static_order = self.static_order
+        stats.estimated_peak_bytes = simulate_peak_bytes(
+            order, self._estimates, root_ids
+        )
+        return order, refcounts, root_ids
 
-        started = time.perf_counter()
-        try:
-            self._run(order, refcounts, root_ids, stats)
-            results = []
-            for root in roots:
-                value = self.backend.materialize(root.result)
-                root.result = value
-                results.append(value)
-        finally:
-            # finalized even when a node raises (OOM cells included):
-            # the session publishes these stats either way.
-            stats.wall_seconds = time.perf_counter() - started
-            stats.manager_peak_bytes = self.memory.peak
+    def _materialize_roots(self, roots: Sequence[Node]) -> List[object]:
+        results = []
+        for root in roots:
+            value = self.backend.materialize(root.result)
+            root.result = value
+            results.append(value)
         return results
 
     # -- strategy hook ---------------------------------------------------
@@ -148,6 +200,17 @@ class Scheduler:
             worker=threading.current_thread().name,
             bytes_estimated=self._estimates.get(node.id),
         )
+        self._record_op_stats(node, value, inputs, stats)
+
+    @staticmethod
+    def _record_op_stats(node: Node, value: object, inputs: List[object],
+                         stats: ExecutionStats) -> None:
+        """Op-specific counters (scan pruning, shuffle, broadcast).
+
+        Shared by every in-process path and by the process strategy's
+        shipped tasks, whose nodes run in a worker but must account
+        against the parent's stats object.
+        """
         if node.op == "scan":
             total = node.args.get("partitions_total")
             if total is not None:

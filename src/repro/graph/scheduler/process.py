@@ -1,0 +1,484 @@
+"""The process strategy: ship pure pipeline tasks to a worker pool.
+
+The GIL caps the threaded strategy on CPU-bound operators (string
+methods, Python-level ``apply``); this strategy runs them on a
+``ProcessPoolExecutor`` instead.  The unit of shipping is a *task* --
+one fused linear chain (:func:`~repro.graph.scheduler.fused.
+fuse_linear_chains`), so a scan -> filter -> project pipeline crosses
+the process boundary once, not once per node.
+
+A task ships through the pickle seam PR 2 called out: its steps are
+``(op, args, input_slots)`` triples (``Partition`` lists and predicate
+conjuncts in ``args`` are serializable by design) plus the pickled
+external input frames; a worker replays them against its own backend
+instance and returns the pickled final result.  The parent unpickles
+that result on the coordination thread -- where the owning session is
+active -- so the rebuilt :class:`~repro.frame.column.Column` buffers
+register with the *parent session's* memory manager: result-size
+accounting is charged back exactly as if the node had run in-process.
+
+Graceful fallback keeps the strategy total: tasks whose args or inputs
+do not pickle (lambdas in ``apply``/``map``), side-effect ops (prints
+must appear on the parent's stdout, in program order), shuffle-store
+and partition-stream plumbing (live locks / single-use iterators), and
+workers that return an unpicklable result all run inline on the
+coordination thread instead, with the session's spill-retry and
+accounting semantics unchanged.  Engines without
+``supports_parallel_apply`` never reach this class (the session falls
+back to serial).
+
+Fault tolerance: shipped tasks are pure functions of already-
+materialized inputs, so when a worker dies mid-task
+(``BrokenProcessPool``) the pool is discarded, a fresh one is built,
+and the task is re-run up to ``executor.process_retries`` times before
+an :class:`~repro.graph.scheduler.base.ExecutionError` surfaces.  On
+that error every result this run produced is dropped first, so the
+memory budget and any spill files are reclaimed.
+
+Workers are started through the session's cached pool
+(:meth:`~repro.core.session.Session.process_pool`; ``fork`` where
+available -- ``executor.process_start_method`` overrides) and
+initialized by :func:`_pool_worker_init`: forked children inherit the
+parent's session stack, simulated budget, and live spill-store
+finalizers, none of which belong to them (the ``os.register_at_fork``
+hooks in ``repro.core.session`` and ``repro.io.spill`` clear the
+dangerous parts for *any* fork; the initializer resets the rest).
+"""
+
+from __future__ import annotations
+
+import heapq
+import pickle
+import time
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graph.node import Node
+from repro.graph.scheduler.base import ExecutionError, Scheduler
+from repro.graph.scheduler.fused import fuse_linear_chains
+from repro.graph.scheduler.stats import ExecutionStats
+
+#: ops that must run in the parent whatever their picklability: shuffle
+#: stores hold locks and parent-side spill directories, streams are
+#: single-use iterators over parent file handles.
+_INLINE_OPS = frozenset({"shuffle_write", "shuffle_read"})
+
+
+# ---------------------------------------------------------------------------
+# Worker side (these run inside pool processes).
+# ---------------------------------------------------------------------------
+
+#: the worker's backend instance, built once by the pool initializer.
+_WORKER_BACKEND = None
+
+
+class _StepNode:
+    """The slice of :class:`~repro.graph.node.Node` the backend dispatch
+    reads (``apply_generic`` and the shuffle ops use ``op`` and ``args``
+    only), rebuilt worker-side from a shipped step."""
+
+    __slots__ = ("op", "args")
+
+    def __init__(self, op: str, args: dict) -> None:
+        self.op = op
+        self.args = args
+
+
+class _UnpicklableResult:
+    """Marker a worker returns instead of a result that will not
+    pickle; the parent re-runs the task inline."""
+
+    __slots__ = ("type_name",)
+
+    def __init__(self, type_name: str) -> None:
+        self.type_name = type_name
+
+
+def _pool_worker_init(backend_name: str) -> None:
+    """Pool initializer: give the worker a clean runtime of its own.
+
+    Runs in the child.  Fork-started workers inherit the parent's root
+    session (whose options may carry a simulated budget) -- a worker
+    must never OOM against the parent's budget, so the root session is
+    rebuilt and the process manager unbudgeted.  Spawn-started workers
+    import everything fresh and this is a no-op beyond backend setup.
+    """
+    global _WORKER_BACKEND
+    from repro.backends.engine import DEFAULT_REGISTRY
+    from repro.core.session import reset_root_session
+    from repro.memory.manager import memory_manager
+
+    reset_root_session(backend=backend_name)
+    memory_manager.budget = None
+    _WORKER_BACKEND = DEFAULT_REGISTRY.create(backend_name).backend
+
+
+def _run_task(payload: bytes) -> bytes:
+    """Replay one shipped task; returns the pickled final result.
+
+    ``payload`` decodes to ``(steps, externals)``: each step is
+    ``(op, args, slots)`` where a slot ``("ext", i)`` reads the i-th
+    external input and ``("step", j)`` the j-th step's output.
+    Exceptions propagate (the pool pickles them back to the parent).
+    """
+    steps, externals = pickle.loads(payload)
+    backend = _WORKER_BACKEND
+    assert backend is not None, "worker pool initializer did not run"
+    results: List[object] = []
+    for op, args, slots in steps:
+        inputs = [
+            externals[index] if kind == "ext" else results[index]
+            for kind, index in slots
+        ]
+        results.append(backend.apply(_StepNode(op, args), inputs))
+    final = results[-1]
+    try:
+        return pickle.dumps(final, protocol=pickle.HIGHEST_PROTOCOL)
+    except Exception:  # noqa: BLE001 - anything unpicklable
+        return pickle.dumps(_UnpicklableResult(type(final).__name__))
+
+
+def create_worker_pool(max_workers: int, start_method: Optional[str],
+                       backend_name: str):
+    """A ``ProcessPoolExecutor`` whose workers run LaFP tasks.
+
+    ``start_method=None`` picks ``fork`` where the platform has it
+    (workers start in milliseconds and inherit loaded modules), else
+    the platform default.  Sessions cache the pool across collects --
+    see :meth:`repro.core.session.Session.process_pool`.
+    """
+    import multiprocessing
+    from concurrent.futures import ProcessPoolExecutor
+
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else None
+    context = (
+        multiprocessing.get_context(start_method)
+        if start_method is not None else None
+    )
+    return ProcessPoolExecutor(
+        max_workers=max(1, int(max_workers)),
+        mp_context=context,
+        initializer=_pool_worker_init,
+        initargs=(backend_name,),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent side.
+# ---------------------------------------------------------------------------
+
+
+class ProcessScheduler(Scheduler):
+    """Fused-chain tasks on a process pool, inline fallback otherwise."""
+
+    name = "process"
+
+    def __init__(self, backend, *, session=None, memory=None,
+                 max_workers=None, static_order=True):
+        super().__init__(backend, session=session, memory=memory,
+                         max_workers=max_workers or 4,
+                         static_order=static_order)
+        #: pool created for a sessionless run, shut down afterwards.
+        self._private_pool = None
+
+    # -- pool management ---------------------------------------------------
+
+    def _retries(self) -> int:
+        if self.session is not None:
+            return int(self.session.options.get("executor.process_retries"))
+        return 1
+
+    def _pool(self):
+        if self.session is not None:
+            return self.session.process_pool()
+        if self._private_pool is None:
+            self._private_pool = create_worker_pool(
+                self.max_workers, None,
+                getattr(self.backend, "name", "pandas"),
+            )
+        return self._private_pool
+
+    def _discard_pool(self, pool) -> None:
+        """The pool broke (a worker died): drop it so the next shipped
+        task gets a fresh one."""
+        if self.session is not None:
+            self.session.discard_pool(pool)
+            return
+        if self._private_pool is pool:
+            self._private_pool = None
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        except Exception:  # noqa: BLE001 - broken pools may raise
+            pass
+
+    # -- strategy hook -----------------------------------------------------
+
+    def _run(self, order: List[Node], refcounts: Dict[int, int],
+             root_ids: set, stats: ExecutionStats) -> None:
+        try:
+            self._run_tasks(order, refcounts, root_ids, stats)
+        finally:
+            if self._private_pool is not None:
+                self._private_pool.shutdown(wait=True, cancel_futures=True)
+                self._private_pool = None
+
+    def _run_tasks(self, order: List[Node], refcounts: Dict[int, int],
+                   root_ids: set, stats: ExecutionStats) -> None:
+        from concurrent.futures import FIRST_COMPLETED, wait
+        from concurrent.futures.process import BrokenProcessPool
+
+        tasks = fuse_linear_chains(order, root_ids)
+        node_task: Dict[int, int] = {}
+        for index, chain in enumerate(tasks):
+            for node in chain:
+                node_task[node.id] = index
+
+        # Task-level dependency graph (all edges, like the schedulers').
+        indegree = [0] * len(tasks)
+        task_consumers: Dict[int, List[int]] = {}
+        for index, chain in enumerate(tasks):
+            deps: Set[int] = set()
+            for node in chain:
+                if node.computed:
+                    continue
+                for dep in node.all_deps():
+                    producer = node_task.get(dep.id)
+                    if producer is not None and producer != index:
+                        deps.add(producer)
+            indegree[index] = len(deps)
+            for producer in deps:
+                task_consumers.setdefault(producer, []).append(index)
+
+        def task_priority(index: int) -> Tuple[int, int]:
+            head = tasks[index][0]
+            return (self._priorities.get(head.id, head.id), head.id)
+
+        ready: List[Tuple[int, int, int]] = []
+        for index in range(len(tasks)):
+            if indegree[index] == 0:
+                heapq.heappush(ready, (*task_priority(index), index))
+        ready_since: Dict[int, float] = {
+            entry[2]: time.perf_counter() for entry in ready
+        }
+
+        #: results set during this run, dropped on ExecutionError so
+        #: the budget (and spill dirs their buffers pin) come back.
+        completed_nodes: List[Node] = []
+        attempts: Dict[int, int] = {}
+        pending: Dict[object, Tuple[int, float]] = {}
+        done_count = 0
+
+        def complete(index: int) -> None:
+            nonlocal done_count
+            done_count += 1
+            now = time.perf_counter()
+            for consumer in task_consumers.get(index, ()):
+                indegree[consumer] -= 1
+                if indegree[consumer] == 0:
+                    heapq.heappush(ready, (*task_priority(consumer), consumer))
+                    ready_since[consumer] = now
+
+        def release_chain(chain: List[Node]) -> None:
+            for node in chain:
+                self._release_inputs(node, refcounts, root_ids)
+
+        def run_inline(index: int, queue_wait: float) -> None:
+            chain = tasks[index]
+            stats.record_process_task(shipped=False)
+            for position, node in enumerate(chain):
+                self._execute_node(
+                    node, stats,
+                    queue_wait=queue_wait if position == 0 else 0.0,
+                )
+                completed_nodes.append(node)
+            release_chain(chain)
+            complete(index)
+
+        def fail_cleanup() -> None:
+            for fut in pending:
+                fut.cancel()
+            pending.clear()
+            for node in completed_nodes:
+                node.clear_result()
+
+        try:
+            while done_count < len(tasks):
+                while ready and len(pending) < self.max_workers:
+                    index = heapq.heappop(ready)[2]
+                    chain = tasks[index]
+                    queue_wait = max(
+                        0.0,
+                        time.perf_counter()
+                        - ready_since.get(index, time.perf_counter()),
+                    )
+                    if len(chain) == 1 and chain[0].computed:
+                        stats.record_cache_hit()
+                        complete(index)
+                        continue
+                    payload = self._ship_payload(chain)
+                    if payload is None:
+                        run_inline(index, queue_wait)
+                        continue
+                    try:
+                        future = self._pool().submit(_run_task, payload)
+                    except BrokenProcessPool:
+                        # the pool broke while idle; rebuild and retry
+                        # this task through the normal retry budget.
+                        self._discard_pool(self._pool())
+                        attempts[index] = attempts.get(index, 0) + 1
+                        if attempts[index] > self._retries():
+                            fail_cleanup()
+                            raise ExecutionError(
+                                "process pool kept breaking before task "
+                                f"{index} could start"
+                            ) from None
+                        stats.record_process_retry()
+                        heapq.heappush(ready, (*task_priority(index), index))
+                        continue
+                    pending[future] = (index, time.perf_counter())
+                if not pending:
+                    if ready:
+                        continue
+                    if done_count < len(tasks):  # pragma: no cover
+                        raise ExecutionError(
+                            "process scheduler stalled with "
+                            f"{len(tasks) - done_count} tasks unreachable"
+                        )
+                    break
+                finished, _ = wait(
+                    list(pending), return_when=FIRST_COMPLETED
+                )
+                broken: List[int] = []
+                for future in finished:
+                    index, submitted = pending.pop(future)
+                    try:
+                        blob = future.result()
+                    except BrokenProcessPool:
+                        broken.append(index)
+                        continue
+                    # a worker-raised plan error propagates with its
+                    # original type, like every other strategy's.
+                    self._land_result(
+                        tasks[index], blob, submitted, stats,
+                        ready_since.get(index), completed_nodes,
+                    )
+                    release_chain(tasks[index])
+                    complete(index)
+                if broken:
+                    # every in-flight future on a broken pool is lost
+                    for future, (index, _) in list(pending.items()):
+                        broken.append(index)
+                    pending.clear()
+                    self._discard_pool(self._pool())
+                    now = time.perf_counter()
+                    for index in sorted(set(broken)):
+                        attempts[index] = attempts.get(index, 0) + 1
+                        if attempts[index] > self._retries():
+                            fail_cleanup()
+                            raise ExecutionError(
+                                "process pool worker died "
+                                f"{attempts[index]} time(s) running task "
+                                f"{index} (ops: "
+                                f"{[n.op for n in tasks[index]]}); "
+                                "giving up after executor.process_retries="
+                                f"{self._retries()}"
+                            )
+                        stats.record_process_retry()
+                        heapq.heappush(
+                            ready, (*task_priority(index), index)
+                        )
+                        ready_since[index] = now
+        except BaseException:
+            for future in pending:
+                future.cancel()
+            raise
+
+    # -- shipping ----------------------------------------------------------
+
+    def _ship_payload(self, chain: List[Node]) -> Optional[bytes]:
+        """Serialize ``chain`` for a worker, or ``None`` to run inline.
+
+        Inline reasons: side-effect ops (parent stdout, program order),
+        shuffle-store / stream plumbing in ops or input values, stream-
+        returning scans, and any args or input that fails to pickle
+        (lambdas in ``apply``/``map`` being the common case).
+        """
+        from repro.io.spill import PartitionStream, ShuffleStore
+
+        steps: List[Tuple[str, dict, List[Tuple[str, int]]]] = []
+        externals: List[object] = []
+        external_index: Dict[int, int] = {}
+        step_index: Dict[int, int] = {}
+        for node in chain:
+            if node.spec.side_effect or node.op in _INLINE_OPS:
+                return None
+            if node.op == "scan" and node.args.get("stream"):
+                return None
+            slots: List[Tuple[str, int]] = []
+            for inp in node.inputs:
+                if inp.id in step_index:
+                    slots.append(("step", step_index[inp.id]))
+                    continue
+                value = inp.result
+                if isinstance(value, (PartitionStream, ShuffleStore)):
+                    return None
+                if inp.id not in external_index:
+                    external_index[inp.id] = len(externals)
+                    externals.append(value)
+                slots.append(("ext", external_index[inp.id]))
+            step_index[node.id] = len(steps)
+            steps.append((node.op, node.args, slots))
+        try:
+            return pickle.dumps(
+                (steps, externals), protocol=pickle.HIGHEST_PROTOCOL
+            )
+        except Exception:  # noqa: BLE001 - unpicklable args or inputs
+            return None
+
+    def _land_result(self, chain: List[Node], blob: bytes,
+                     submitted: float, stats: ExecutionStats,
+                     ready_at: Optional[float],
+                     completed_nodes: List[Node]) -> None:
+        """Unpickle a worker's result on the coordination thread.
+
+        This thread has the owning session active, so the rebuilt
+        column buffers register with the parent session's manager --
+        the charge-back half of the shipping contract.
+        """
+        memory = self.memory
+        reg_before = memory.total_registered
+        rel_before = memory.total_released
+        value = pickle.loads(blob)
+        if isinstance(value, _UnpicklableResult):
+            # the chain ran, but its result cannot cross the boundary
+            # (exotic op output); re-run it here.
+            for node in chain:
+                self._execute_node(node, stats)
+                completed_nodes.append(node)
+            stats.record_process_task(shipped=False)
+            return
+        final = chain[-1]
+        if final.persist:
+            value = self.backend.persist(value)
+        final.set_result(value)
+        completed_nodes.append(final)
+        stats.record_process_task(shipped=True)
+        done = time.perf_counter()
+        queue_wait = (
+            max(0.0, submitted - ready_at) if ready_at is not None else 0.0
+        )
+        registered = memory.total_registered - reg_before
+        released = memory.total_released - rel_before
+        for node in chain:
+            last = node is final
+            stats.record_node(
+                node,
+                wall_seconds=(done - submitted) if last else 0.0,
+                queue_wait_seconds=queue_wait if node is chain[0] else 0.0,
+                bytes_registered=registered if last else 0,
+                bytes_released=released if last else 0,
+                worker="process-pool",
+                bytes_estimated=self._estimates.get(node.id),
+            )
+            self._record_op_stats(node, value if last else None, [], stats)

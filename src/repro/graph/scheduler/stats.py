@@ -71,6 +71,20 @@ class ExecutionStats:
         self.shuffle_partitions = 0
         self.bytes_spilled = 0
         self.broadcast_joins = 0
+        #: was the memory-aware static ordering pass applied to this
+        #: run's execution order (``executor.static_order``)?
+        self.static_order = False
+        #: predicted peak live bytes of the execution order actually
+        #: used (the eager-release simulation over per-node estimates);
+        #: None when the scheduler never planned an order.
+        self.estimated_peak_bytes: Optional[int] = None
+        #: process-strategy accounting: tasks shipped to pool workers,
+        #: tasks that fell back to in-process execution (unpicklable
+        #: args or results, stream/store inputs, side effects), and
+        #: tasks re-run after a worker died mid-flight.
+        self.process_tasks = 0
+        self.process_fallbacks = 0
+        self.process_retries = 0
         #: the session manager's high-water mark when the run finished.
         #: The manager's peak is *not* reset per run (the workload runner
         #: measures whole-program peaks on the same manager), so this can
@@ -119,6 +133,17 @@ class ExecutionStats:
         with self._lock:
             self.broadcast_joins += 1
 
+    def record_process_task(self, shipped: bool) -> None:
+        with self._lock:
+            if shipped:
+                self.process_tasks += 1
+            else:
+                self.process_fallbacks += 1
+
+    def record_process_retry(self) -> None:
+        with self._lock:
+            self.process_retries += 1
+
     def record_cache_hit(self) -> None:
         with self._lock:
             self.cache_hits += 1
@@ -154,6 +179,11 @@ class ExecutionStats:
             "shuffle_partitions": self.shuffle_partitions,
             "bytes_spilled": self.bytes_spilled,
             "broadcast_joins": self.broadcast_joins,
+            "static_order": self.static_order,
+            "estimated_peak_bytes": self.estimated_peak_bytes,
+            "process_tasks": self.process_tasks,
+            "process_fallbacks": self.process_fallbacks,
+            "process_retries": self.process_retries,
             "manager_peak_bytes": self.manager_peak_bytes,
             "nodes": [stat.to_dict() for stat in self.nodes],
         }
@@ -188,6 +218,19 @@ class ExecutionStats:
             )
         if self.broadcast_joins:
             lines.append(f"broadcast joins: {self.broadcast_joins}")
+        if self.estimated_peak_bytes is not None:
+            lines.append(
+                f"estimated peak live bytes: {self.estimated_peak_bytes}"
+                + (" (static order)" if self.static_order else "")
+            )
+        if self.process_tasks or self.process_fallbacks:
+            line = (
+                f"process tasks: {self.process_tasks} shipped, "
+                f"{self.process_fallbacks} inline"
+            )
+            if self.process_retries:
+                line += f", {self.process_retries} retried"
+            lines.append(line)
         for stat in self.nodes:
             label = f" {stat.label}" if stat.label else ""
             estimate = (

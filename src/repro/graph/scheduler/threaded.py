@@ -59,9 +59,10 @@ class ThreadedScheduler(Scheduler):
     name = "threaded"
 
     def __init__(self, backend, *, session=None, memory=None,
-                 max_workers=None):
+                 max_workers=None, static_order=True):
         super().__init__(backend, session=session, memory=memory,
-                         max_workers=max_workers or 4)
+                         max_workers=max_workers or 4,
+                         static_order=static_order)
 
     def _run(self, order: List[Node], refcounts: Dict[int, int],
              root_ids: set, stats: ExecutionStats) -> None:
@@ -71,9 +72,10 @@ class ThreadedScheduler(Scheduler):
         consumers = consumers_by_id(order)
         node_locks = {node.id: threading.Lock() for node in order}
         cond = threading.Condition()
-        # priority heap: (-estimated bytes released, node id, node) --
-        # deterministic admission, biggest memory release first.
-        ready: List[Tuple[int, int, Node]] = []
+        # priority heap: (-estimated bytes released, static priority,
+        # node id, node) -- deterministic admission, biggest memory
+        # release first, then the memory-aware static order.
+        ready: List[Tuple[int, int, int, Node]] = []
         ready_since: Dict[int, float] = {}
         total = len(order)
         state = {"done": 0, "in_flight": 0}
@@ -83,7 +85,8 @@ class ThreadedScheduler(Scheduler):
             released = sum(
                 self._estimates.get(inp.id, 0) for inp in node.inputs
             )
-            heapq.heappush(ready, (-released, node.id, node))
+            priority = self._priorities.get(node.id, node.id)
+            heapq.heappush(ready, (-released, priority, node.id, node))
 
         now = time.perf_counter()
         for node in ready_nodes(order, dep_counts):
@@ -134,11 +137,11 @@ class ThreadedScheduler(Scheduler):
                 stalled = False
                 while state["done"] < total and not errors:
                     while ready and state["in_flight"] < self.max_workers:
-                        head = ready[0][2]
+                        head = ready[0][3]
                         if head.computed:
                             # cached (persisted) result; inputs not re-read
                             stats.record_cache_hit()
-                            finish(heapq.heappop(ready)[2], release=False)
+                            finish(heapq.heappop(ready)[3], release=False)
                             continue
                         if self._throttled(state["in_flight"], head):
                             # one throttle event per stall, however many
@@ -148,7 +151,7 @@ class ThreadedScheduler(Scheduler):
                                 stalled = True
                             break
                         stalled = False
-                        node = heapq.heappop(ready)[2]
+                        node = heapq.heappop(ready)[3]
                         state["in_flight"] += 1
                         pool.submit(
                             worker, node,

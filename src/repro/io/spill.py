@@ -52,6 +52,24 @@ def live_store_count() -> int:
     return len(_LIVE_STORES)
 
 
+def _disarm_after_fork() -> None:
+    # A forked child inherits every live store -- and each store's
+    # finalizer, which would rmtree the PARENT's spill directory when
+    # the child exits or collects the store.  Detach them all in the
+    # child (the parent's copies are untouched; memory is separate)
+    # and forget the stores so child-side spill pressure cannot mutate
+    # chunk lists the parent still owns on disk.
+    for store in list(_LIVE_STORES):
+        if store._finalizer is not None:
+            store._finalizer.detach()
+            store._finalizer = None
+        _LIVE_STORES.discard(store)
+
+
+if hasattr(os, "register_at_fork"):  # pragma: no branch - POSIX only
+    os.register_at_fork(after_in_child=_disarm_after_fork)
+
+
 def spill_live_stores(nbytes: int) -> int:
     """Spill across all live stores, fullest first, until ``nbytes``
     are freed (or nothing in-memory remains).  Returns bytes freed."""

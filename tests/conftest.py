@@ -11,6 +11,18 @@ from repro.core.session import reset_root_session
 from repro.frame import DataFrame
 from repro.memory import memory_manager
 
+try:  # derandomized profile for CI property-test runs
+    from hypothesis import settings as _hypothesis_settings
+
+    _hypothesis_settings.register_profile(
+        "ci", derandomize=True, print_blob=True
+    )
+    _hypothesis_settings.load_profile(
+        os.environ.get("HYPOTHESIS_PROFILE", "default")
+    )
+except ImportError:  # pragma: no cover - hypothesis is optional
+    pass
+
 
 def _clear_session_stack():
     """Drop any session a failed test left on this thread's stack --

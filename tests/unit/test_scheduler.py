@@ -34,7 +34,7 @@ from repro.graph.scheduler import (
 )
 from repro.memory import MemoryManager, SimulatedMemoryError, memory_manager
 
-STRATEGIES = ["serial", "threaded", "fused"]
+STRATEGIES = ["serial", "threaded", "fused", "process", "async"]
 
 
 def _diamond():
@@ -76,11 +76,13 @@ def numbers_csv(make_csv):
 
 class TestExecutorRegistry:
     def test_stock_strategies_registered(self):
-        assert DEFAULT_EXECUTORS.names() == ["fused", "serial", "threaded"]
+        assert DEFAULT_EXECUTORS.names() == [
+            "async", "fused", "process", "serial", "threaded",
+        ]
         assert "threaded" in DEFAULT_EXECUTORS
 
     def test_unknown_strategy_lists_choices(self):
-        with pytest.raises(ValueError, match="fused.*serial.*threaded"):
+        with pytest.raises(ValueError, match="fused.*process.*serial"):
             DEFAULT_EXECUTORS.spec("quantum")
 
     def test_duplicate_registration_rejected(self):
@@ -205,7 +207,7 @@ class TestStrategyEquivalence:
                 results[strategy] = (total.collect(), by_tag.collect())
                 assert s.last_execution_stats.effective_strategy == strategy
         base_total, base_series = results["serial"]
-        for strategy in ("threaded", "fused"):
+        for strategy in ("threaded", "fused", "process", "async"):
             total, series = results[strategy]
             assert total == base_total
             assert _frames_equal(series, base_series)
