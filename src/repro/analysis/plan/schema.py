@@ -353,6 +353,16 @@ def _from_payload_schema(node, inputs, ctx) -> NodeSchema:
     return NodeSchema.frame(list(columns), dtypes)
 
 
+@schema_rule("from_cached")
+def _from_cached_schema(node, inputs, ctx) -> NodeSchema:
+    # The cached blob is opaque until deserialized; only the value kind
+    # recorded at insertion time is known statically.
+    kind = node.args.get("kind")
+    if kind in (FRAME, SERIES, SCALAR):
+        return NodeSchema.unknown(kind)
+    return NodeSchema.unknown()
+
+
 # -- row-preserving frame passthrough ---------------------------------------
 
 

@@ -96,6 +96,17 @@ class Backend:
         """Wrap an eager frame into this backend's representation."""
         return frame
 
+    def adopt_cached(self, value):
+        """Wrap a deserialized cache-hit value (``from_cached`` nodes).
+
+        Must round-trip exactly: ``materialize(adopt_cached(v))`` has to
+        reproduce ``v`` bit-for-bit, *index and name included* -- unlike
+        ``from_pandas``, which some lazy sims implement by re-splitting
+        (dropping non-default indexes, acceptable for sources but not
+        for computed results).
+        """
+        return self.from_pandas(value)
+
     def to_datetime(self, series):
         raise BackendUnsupported("to_datetime")
 
@@ -177,6 +188,16 @@ def apply_generic(backend: Backend, node: Node, inputs: List[object]):
         return backend.from_data(args["data"])
     if op == "from_pandas":
         return backend.from_pandas(args["frame"])
+    if op == "from_cached":
+        # a cache-substituted subplan: deserialize the blob into this
+        # session (rebuilt buffers charge the consumer's budget) and
+        # adopt it like a shipped/imported frame.
+        from repro.cache.result_cache import deserialize_value
+
+        value = deserialize_value(args["blob"])
+        if _is_framelike(value):
+            return backend.adopt_cached(value)
+        return value
     if op == "identity":
         return inputs[0]
     if op == "getitem_column":

@@ -135,6 +135,27 @@ class DaskBackend(Backend):
             return from_pandas(value, self.evaluator)
         return value
 
+    def adopt_cached(self, value):
+        # One partition holding the exact eager value: compute() of a
+        # single-partition expr returns the partition untouched, so the
+        # result's index and name survive (from_pandas re-splits by
+        # position and would reset both).
+        from repro.backends.dask_sim.expr import materialized_expr
+
+        if isinstance(value, DataFrame):
+            handle = self.evaluator.store.put(value)
+            return DaskFrame(
+                materialized_expr([handle]), self.evaluator,
+                columns=list(value.columns),
+            )
+        if isinstance(value, Series):
+            handle = self.evaluator.store.put(value)
+            return DaskSeries(
+                materialized_expr([handle]), self.evaluator,
+                name=value.name,
+            )
+        return value
+
     def to_datetime(self, series: DaskSeries) -> DaskSeries:
         from repro.backends.dask_sim.expr import blockwise_expr
         from repro.frame import to_datetime as _to_datetime

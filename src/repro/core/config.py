@@ -34,12 +34,25 @@ key                                       default
                                                      async); env default via
                                                      ``LAFP_EXECUTOR_STRATEGY``
 ``executor.max_workers``                  4          threaded/process/async pool size
+                                                     ("auto" = sized from the static
+                                                     order's simulated peak vs budget)
 ``executor.static_order``                 True       memory-aware static ordering pass
 ``executor.process_retries``              1          re-runs of a task whose process
                                                      worker died, before ExecutionError
 ``executor.process_start_method``         None       multiprocessing start method of the
                                                      process strategy (None = fork when
-                                                     available)
+                                                     available); env default via
+                                                     ``LAFP_PROCESS_START_METHOD``
+``optimizer.reuse``                       False      serve cache-hit subplans from the
+                                                     cross-session result cache and
+                                                     insert cache-worthy results
+``cache.budget``                          64 MiB     in-memory byte budget of the
+                                                     process-global result cache
+``cache.spill_budget``                    256 MiB    disk-tier byte budget; beyond it
+                                                     entries are evicted (files deleted)
+``cache.min_cost``                        0.01       wall x bytes floor (byte-seconds)
+                                                     below which a result is never
+                                                     inserted
 ``memory.budget``                         None       per-session simulated byte budget
 ``memory.spill_dir``                      None       shuffle spill directory (None =
                                                      system temp dir)
@@ -87,6 +100,10 @@ class OptionSpec:
     default: object
     doc: str = ""
     validator: Optional[Callable[[object], None]] = None
+    #: True when the option changes *what a plan computes* (not just
+    #: how fast): semantic options join the result-cache key, so
+    #: flipping one can never serve a stale cached result.
+    semantic: bool = False
 
 
 _REGISTRY: Dict[str, OptionSpec] = {}
@@ -106,10 +123,25 @@ def register_option(
     default: object,
     doc: str = "",
     validator: Optional[Callable[[object], None]] = None,
+    semantic: bool = False,
 ) -> None:
     """Add a key to the option registry (done once, at import time)."""
     _REGISTRY[key] = OptionSpec(key=key, default=default, doc=doc,
-                                validator=validator)
+                                validator=validator, semantic=semantic)
+
+
+def semantic_option_keys() -> Tuple[str, ...]:
+    """Registered keys flagged ``semantic`` (sorted, stable)."""
+    return tuple(sorted(k for k, s in _REGISTRY.items() if s.semantic))
+
+
+def semantic_signature(options: "SessionOptions") -> Tuple[Tuple[str, str], ...]:
+    """The semantics-relevant slice of a session's options, in the
+    canonical form the result-cache key embeds: sorted
+    ``(key, repr(value))`` pairs over every ``semantic`` option."""
+    return tuple(
+        (key, repr(options.get(key))) for key in semantic_option_keys()
+    )
 
 
 def registered_options() -> Dict[str, OptionSpec]:
@@ -235,11 +267,19 @@ register_option(
         "default (the CI parallel-path leg uses it).",
     validator=_validate_str,
 )
+def _validate_max_workers(value: object) -> None:
+    if value == "auto":
+        return
+    _validate_positive_int(value)
+
+
 register_option(
     "executor.max_workers", 4,
     doc="Worker-pool size of the threaded, process, and async scheduler "
-        "strategies.",
-    validator=_validate_positive_int,
+        "strategies.  'auto' sizes the pool per run from the static "
+        "order's simulated peak bytes against memory.budget (capped at "
+        "the CPU count), so concurrency never plans past the budget.",
+    validator=_validate_max_workers,
 )
 register_option(
     "executor.static_order", True,
@@ -274,11 +314,14 @@ register_option(
     validator=_validate_non_negative_int,
 )
 register_option(
-    "executor.process_start_method", None,
+    "executor.process_start_method",
+    os.environ.get("LAFP_PROCESS_START_METHOD") or None,
     doc="multiprocessing start method of the process strategy's worker "
         "pool (None = 'fork' where available, else the platform "
         "default).  'spawn'/'forkserver' workers import the package "
-        "fresh; 'fork' inherits the parent and is much faster to start.",
+        "fresh; 'fork' inherits the parent and is much faster to start. "
+        "The LAFP_PROCESS_START_METHOD env var sets the process default "
+        "(the CI spawn leg uses it).",
     validator=_validate_start_method,
 )
 register_option(
@@ -348,6 +391,10 @@ register_option(
         "path; 'jsonl'/'dataset' reroutes pd.read_csv through the "
         "matching scan source when the sibling dataset variant exists.",
     validator=_validate_source_format,
+    # flipping the format changes which physical files a program's
+    # read_csv resolves to, so a cached result keyed under one format
+    # must never serve a session running under another.
+    semantic=True,
 )
 
 
@@ -365,6 +412,48 @@ register_option(
         "'strict' raises PlanValidationError before any partition is "
         "read.",
     validator=_validate_analysis_level,
+)
+
+
+def _validate_non_negative_float(value: object) -> None:
+    if isinstance(value, bool) or not isinstance(value, (int, float)) \
+            or value < 0:
+        raise OptionError(
+            f"expected a non-negative number, got {value!r}"
+        )
+
+
+register_option(
+    "optimizer.reuse", False,
+    doc="Serve subplans whose fingerprint hits the process-global "
+        "result cache as pre-materialized from_cached leaves, and "
+        "insert this run's cache-worthy results for later sessions. "
+        "Off by default: the cache is shared process state, so reuse "
+        "is an explicit opt-in per session.",
+    validator=_validate_bool,
+)
+register_option(
+    "cache.budget", 64 * 1024 * 1024,
+    doc="In-memory byte budget of the process-global result cache "
+        "(None = unbounded).  Admission demotes least-recently-used "
+        "entries to the disk tier first, so the cache's resident bytes "
+        "never overshoot this ceiling.",
+    validator=_validate_optional_bytes,
+)
+register_option(
+    "cache.spill_budget", 256 * 1024 * 1024,
+    doc="Disk-tier byte budget of the result cache (None = unbounded). "
+        "Beyond it, least-recently-used demoted entries are evicted "
+        "and their files deleted immediately.",
+    validator=_validate_optional_bytes,
+)
+register_option(
+    "cache.min_cost", 0.01,
+    doc="Cache-worthiness floor in byte-seconds: a result is inserted "
+        "only when its actual wall time x serialized size meets this "
+        "(a 64 B scalar computed in microseconds never qualifies; any "
+        "real scan/join/aggregate does).",
+    validator=_validate_non_negative_float,
 )
 
 

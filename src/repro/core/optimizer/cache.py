@@ -1,0 +1,191 @@
+"""Cache substitution: serve fingerprint-hit subplans, insert new ones.
+
+Runs as the *first* optimizer pass (``optimizer.reuse``), against the
+raw plan -- before CSE or any rewrite mutates it -- so the fingerprints
+it computes are exactly the ones a later session's raw plan will
+produce.  Node identity survives the rest of the pipeline (rewrites
+mutate op/args/inputs in place, they never re-id a node), which is what
+lets the post-execution insertion path map an executed node back to the
+raw fingerprint recorded here even after, say, shuffle lowering turned
+its subtree into a bucket pipeline: the rewritten plan computes a
+bit-identical value (pinned by the equivalence fuzzer), so caching it
+under the raw fingerprint is sound.
+
+Substitution rewrites a hit node in place into a ``from_cached`` leaf
+whose args carry the serialized blob itself.  Carrying the bytes (not
+the cache key) makes the rewrite eviction-proof -- a concurrent session
+evicting the entry between substitution and execution cannot fault the
+plan -- and defers deserialization to execution, where its cost is
+attributed to the node like any other.  The rewrite is undone by
+``Session._run``'s transactional snapshot/restore like every other
+optimizer mutation.
+
+A subtree is eligible only when *every* node in it is deterministic and
+replayable: a ``sample`` (unseeded randomness) or a side-effect node
+(a replay would silently skip the effect) poisons all its consumers.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional, Sequence, Set
+
+from repro.cache.fingerprint import Unfingerprintable, fingerprint_node
+from repro.cache.result_cache import (
+    CacheKey,
+    result_cache,
+    serialize_value,
+)
+from repro.core.config import semantic_signature
+from repro.graph.node import Node
+
+
+class CacheRunState:
+    """Per-run cache bookkeeping, shared between the substitution pass
+    and the scheduler's post-execution insertion seam.
+
+    ``offer`` is called from scheduler worker threads (and the process
+    strategy's coordination thread); everything it touches is guarded.
+    """
+
+    def __init__(
+        self,
+        backend: str,
+        signature,
+        budget: Optional[int],
+        spill_budget: Optional[int],
+        min_cost: float,
+    ) -> None:
+        self.backend = backend
+        self.signature = signature
+        self.budget = budget
+        self.spill_budget = spill_budget
+        self.min_cost = min_cost
+        #: raw-graph fingerprint key per eligible node id (cache misses
+        #: the insertion seam may fill after execution)
+        self.candidates: Dict[int, CacheKey] = {}
+        self.hits = 0
+        self.misses = 0
+        self.bytes_reused = 0
+        self.inserted = 0
+        self.evictions = 0
+        self._offered: Set[int] = set()
+        self._lock = threading.Lock()
+
+    def offer(self, node: Node, value, wall_seconds: float) -> bool:
+        """Insert ``node``'s executed result if it is cache-worthy.
+
+        Worthiness = the node was fingerprinted as a raw-plan miss AND
+        its actual cost (wall seconds x serialized bytes) meets
+        ``cache.min_cost``.  Non-eager values (streams, stores, lazy
+        expressions) are silently skipped.  Returns True on insert.
+        """
+        key = self.candidates.get(node.id)
+        if key is None:
+            return False
+        with self._lock:
+            if node.id in self._offered:
+                return False
+        try:
+            blob, kind = serialize_value(value)
+        except TypeError:
+            # A lazy-backend interior value: the root offer after
+            # materialization may still succeed, so don't mark it done.
+            return False
+        with self._lock:
+            if node.id in self._offered:
+                return False
+            self._offered.add(node.id)
+        if wall_seconds * len(blob) < self.min_cost:
+            return False
+        evicted = result_cache().put(
+            key, blob, kind,
+            budget=self.budget, spill_budget=self.spill_budget,
+        )
+        with self._lock:
+            self.inserted += 1
+            self.evictions += evicted
+        return True
+
+    def flush_to_stats(self, stats) -> None:
+        """Publish this run's cache counters into ``ExecutionStats``."""
+        if stats is None:
+            return
+        stats.record_cache_run(
+            hits=self.hits,
+            misses=self.misses,
+            bytes_reused=self.bytes_reused,
+            evictions=self.evictions,
+            inserted=self.inserted,
+        )
+
+
+def _subtree_cacheable(
+    node: Node, memo: Dict[int, bool]
+) -> bool:
+    cached = memo.get(node.id)
+    if cached is not None:
+        return cached
+    ok = node.spec.cacheable and not node.spec.side_effect and all(
+        _subtree_cacheable(inp, memo) for inp in node.inputs
+    )
+    memo[node.id] = ok
+    return ok
+
+
+def substitute_cached_subplans(
+    roots: Sequence[Node], session
+) -> CacheRunState:
+    """Rewrite cache-hit subgraphs under ``roots`` into ``from_cached``
+    leaves; record every eligible miss as an insertion candidate.
+
+    Top-down: a hit at a node serves the whole subtree, so its inputs
+    are never probed (the biggest reusable prefix wins).
+    """
+    opts = session.options
+    state = CacheRunState(
+        backend=session.engine.name,
+        signature=semantic_signature(opts),
+        budget=opts.get("cache.budget"),
+        spill_budget=opts.get("cache.spill_budget"),
+        min_cost=float(opts.get("cache.min_cost")),
+    )
+    cache = result_cache()
+    cacheable_memo: Dict[int, bool] = {}
+    seen: Set[int] = set()
+
+    def visit(node: Node) -> None:
+        if node.id in seen:
+            return
+        seen.add(node.id)
+        if node.computed or node.op == "from_cached":
+            return
+        if _subtree_cacheable(node, cacheable_memo):
+            try:
+                fp = fingerprint_node(node, session)
+            except Unfingerprintable:
+                fp = None
+            if fp is not None:
+                key: CacheKey = (fp, state.backend, state.signature)
+                hit = cache.get(key, budget=state.budget)
+                if hit is not None:
+                    blob, kind = hit
+                    state.hits += 1
+                    state.bytes_reused += len(blob)
+                    node.op = "from_cached"
+                    node.inputs = []
+                    node.args = {
+                        "key": fp[:12],
+                        "blob": blob,
+                        "nbytes": len(blob),
+                        "kind": kind,
+                    }
+                    return  # the subtree is served; nothing below runs
+                state.misses += 1
+                state.candidates[node.id] = key
+        for inp in node.inputs:
+            visit(inp)
+
+    for root in roots:
+        visit(root)
+    return state

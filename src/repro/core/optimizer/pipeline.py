@@ -5,6 +5,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.graph.node import Node
+from repro.core.optimizer.cache import substitute_cached_subplans
 from repro.core.optimizer.common_subexpr import (
     eliminate_common_subexpressions,
     mark_persistent_nodes,
@@ -35,7 +36,16 @@ def optimize(
     opts = session.options
     report = {"cse": 0, "pushdown": 0, "scan_fold": 0, "projection": 0,
               "metadata": 0, "pruned_partitions": 0, "shuffle_lowered": 0,
-              "persisted": 0}
+              "persisted": 0, "reuse_hits": 0, "reuse_misses": 0,
+              "reuse_bytes": 0}
+    if opts.get("optimizer.reuse"):
+        # First, against the RAW plan: later rewrites would change the
+        # fingerprints, and substituted subtrees need no optimizing.
+        state = substitute_cached_subplans(roots, session)
+        session._cache_run = state
+        report["reuse_hits"] = state.hits
+        report["reuse_misses"] = state.misses
+        report["reuse_bytes"] = state.bytes_reused
     if opts.get("optimizer.common_subexpression"):
         report["cse"] = eliminate_common_subexpressions(roots)
     if opts.get("optimizer.predicate_pushdown"):

@@ -56,6 +56,11 @@ from repro.memory.manager import MemoryManager, memory_manager as _root_memory
 _BUDGET_UNSYNCED = object()
 
 
+def _auto_worker_cap() -> int:
+    """Hard pool-size ceiling for ``executor.max_workers="auto"``."""
+    return max(1, min(8, os.cpu_count() or 4))
+
+
 def _shutdown_pool(pool) -> None:
     """Best-effort pool shutdown (module-level so a session finalizer
     never keeps the session alive through its own cell)."""
@@ -108,6 +113,13 @@ class Session:
         #: The node registry only ever grows, so its size is a cheap
         #: version stamp for "was any node built since the last gate?".
         self._analysis_cache: Dict[tuple, tuple] = {}
+        #: plan-fingerprint memo: node id -> (graph version, source stat
+        #: deps, digest); same versioning scheme as the analysis gate
+        #: (see repro.cache.fingerprint).
+        self._fingerprint_cache: Dict[int, tuple] = {}
+        #: the in-flight run's CacheRunState, installed by the
+        #: ``optimizer.reuse`` pass and handed to the scheduler by _run.
+        self._cache_run = None
         #: lazily-created process-strategy worker pool (see
         #: :meth:`process_pool`), its creation key, and the finalizer
         #: that shuts it down when the session is garbage-collected.
@@ -199,28 +211,40 @@ class Session:
             and not self.engine.supports_parallel_apply
         ):
             spec = self.executors.spec("serial")
+        raw_workers = self.options.get("executor.max_workers")
+        auto_workers = raw_workers == "auto"
         scheduler = spec.create(
             self.backend,
             session=self,
             memory=self.memory,
-            max_workers=int(self.options.get("executor.max_workers")),
+            max_workers=(
+                _auto_worker_cap() if auto_workers else int(raw_workers)
+            ),
             static_order=bool(self.options.get("executor.static_order")),
         )
+        # "auto" resolves per run inside Scheduler._plan, once the
+        # static order's simulated peak bytes exist to size against.
+        scheduler.auto_workers = auto_workers
         scheduler.requested_strategy = requested
         return scheduler
 
-    def process_pool(self):
+    def process_pool(self, workers: Optional[int] = None):
         """The session's shared process-strategy worker pool.
 
         Created on first use by :class:`~repro.graph.scheduler.process.
-        ProcessScheduler` and reused across ``collect()`` calls (forking
-        a pool per execution would dominate small plans); resized when
-        ``executor.max_workers`` changes.  ``close()`` shuts it down; a
-        finalizer does the same when the session is garbage-collected.
+        ProcessScheduler` (which passes its resolved ``workers``, so
+        ``max_workers="auto"`` sizes the pool too) and reused across
+        ``collect()`` calls (forking a pool per execution would dominate
+        small plans); resized when ``executor.max_workers`` changes.
+        ``close()`` shuts it down; a finalizer does the same when the
+        session is garbage-collected.
         """
         from repro.graph.scheduler.process import create_worker_pool
 
-        workers = int(self.options.get("executor.max_workers"))
+        if workers is None:
+            raw = self.options.get("executor.max_workers")
+            workers = _auto_worker_cap() if raw == "auto" else int(raw)
+        workers = int(workers)
         start_method = self.options.get("executor.process_start_method")
         key = (workers, start_method, self.backend_name.lower())
         if self._process_pool is not None and self._process_pool_key != key:
@@ -471,8 +495,12 @@ class Session:
         # optimized and original graphs.
         snapshot = self._snapshot(roots)
         scheduler = self.scheduler()
+        fingerprint_version = len(self.node_registry)
         try:
             optimize(roots, self, live_nodes=live_nodes)
+            # the reuse pass (optimizer.cache) left its run state here;
+            # the scheduler offers executed results back through it.
+            scheduler.cache_state = self._cache_run
             results = scheduler.execute(roots)
         finally:
             self._restore(snapshot)
@@ -481,6 +509,9 @@ class Session:
                 self.stats["nodes_executed"] += (
                     scheduler.last_stats.nodes_executed
                 )
+                if self._cache_run is not None:
+                    self._cache_run.flush_to_stats(scheduler.last_stats)
+            self._cache_run = None
         self.stats["computes"] += 1
         self._release_dead_persists(live_nodes)
         if gate_key is not None and gate_key in self._analysis_cache:
@@ -491,6 +522,12 @@ class Session:
                 len(self.node_registry),
                 self._analysis_cache[gate_key][1],
             )
+        if self._fingerprint_cache:
+            # same re-stamp for the plan-fingerprint memo: digests
+            # computed against the raw pre-optimize graph stay valid.
+            from repro.cache.fingerprint import restamp_fingerprints
+
+            restamp_fingerprints(self, fingerprint_version)
         return results
 
     @staticmethod

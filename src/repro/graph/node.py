@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import dataclasses
 import itertools
-from typing import Callable, Dict, List, Optional, Sequence, Set
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set
 
 _node_ids = itertools.count(1)
 
@@ -40,6 +40,15 @@ class OpSpec:
     is_filter: bool = False
     #: True when the op returns a scalar (aggregations, len).
     scalar: bool = False
+    #: arg keys excluded from plan fingerprints: scheduling hints the
+    #: optimizer stamps (or the facade derives) that never change the
+    #: operator's result (see ``repro.cache.fingerprint``).
+    volatile_args: FrozenSet[str] = frozenset()
+    #: False when the op's result must never be served from (or
+    #: inserted into) the cross-session result cache -- nondeterminism
+    #: (``sample``) or store/stream-valued results (shuffle staging).
+    #: Non-cacheable ops poison their whole consumer subtree.
+    cacheable: bool = True
 
 
 OPS: Dict[str, OpSpec] = {}
@@ -260,6 +269,7 @@ register_op(OpSpec(
     mod_attrs=_NO_COLS,
     used_attrs=_NO_COLS,
     is_source=True,
+    volatile_args=frozenset({"read_only_cols", "mutated_cols"}),
 ))
 register_op(OpSpec(
     # the generic source node: args carry a format name, a path, and the
@@ -269,6 +279,21 @@ register_op(OpSpec(
     mod_attrs=_NO_COLS,
     used_attrs=_NO_COLS,
     is_source=True,
+    volatile_args=frozenset({
+        "est_bytes", "partitions", "partitions_total",
+        "read_only_cols", "mutated_cols",
+    }),
+))
+register_op(OpSpec(
+    # a cache-substituted subplan: args carry the serialized result
+    # blob, its size, kind, and a short key for explain().  Emitted
+    # only by the substitution pass in ``repro.core.optimizer.cache``;
+    # never built by user code and never re-cached.
+    "from_cached",
+    mod_attrs=_NO_COLS,
+    used_attrs=_NO_COLS,
+    is_source=True,
+    cacheable=False,
 ))
 register_op(OpSpec(
     "from_data",
@@ -491,12 +516,14 @@ register_op(OpSpec(
     "shuffle_write",
     mod_attrs=_shuffle_write_mod,
     used_attrs=_arg_cols("keys"),
+    cacheable=False,
 ))
 register_op(OpSpec(
     # read one bucket back out of a ShuffleStore as an eager frame
     "shuffle_read",
     mod_attrs=_NO_COLS,
     used_attrs=_NO_COLS,
+    cacheable=False,
 ))
 register_op(OpSpec(
     # identity rebuild with payload-owning columns: cuts the heap-store
@@ -563,7 +590,11 @@ register_op(OpSpec("assign", mod_attrs=_ALL_COLS, used_attrs=_ALL_COLS))
 register_op(OpSpec(
     "select_columns_if", mod_attrs=_NO_COLS, used_attrs=_ALL_COLS,
 ))
-register_op(OpSpec("sample", mod_attrs=_NO_COLS, used_attrs=_NO_COLS))
+register_op(OpSpec(
+    # unseeded randomness: the value is not a function of the plan, so
+    # it (and everything computed over it) must never be cached.
+    "sample", mod_attrs=_NO_COLS, used_attrs=_NO_COLS, cacheable=False,
+))
 
 # Side-effect operators: they render their whole input.
 register_op(OpSpec(

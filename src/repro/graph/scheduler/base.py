@@ -69,6 +69,13 @@ class Scheduler:
         #: substituted this scheduler (stats report both).
         self.requested_strategy: Optional[str] = None
         self.last_stats: Optional[ExecutionStats] = None
+        #: per-run cache bookkeeping (a CacheRunState) installed by
+        #: Session._run when ``optimizer.reuse`` is on; every strategy's
+        #: node-completion path offers executed results through it.
+        self.cache_state = None
+        #: resolve ``max_workers`` per run from the static order's
+        #: simulated peak vs the memory budget (``max_workers="auto"``).
+        self.auto_workers = False
         #: node id -> predicted output bytes (filled per execute()).
         self._estimates: Dict[int, int] = {}
         #: node id -> static priority (filled per execute() when the
@@ -99,6 +106,14 @@ class Scheduler:
         try:
             self._run(order, refcounts, root_ids, stats)
             results = self._materialize_roots(roots)
+            if self.cache_state is not None:
+                # Roots, after materialization: on lazy backends this is
+                # the first (only) point the value is eager.  The whole
+                # run's wall is the honest replacement cost -- serving
+                # the root from cache skips exactly this run.
+                wall = time.perf_counter() - started
+                for root, value in zip(roots, results):
+                    self.cache_state.offer(root, value, wall)
         finally:
             # finalized even when a node raises (OOM cells included):
             # the session publishes these stats either way.
@@ -154,7 +169,28 @@ class Scheduler:
         stats.estimated_peak_bytes = simulate_peak_bytes(
             order, self._estimates, root_ids
         )
+        if self.auto_workers:
+            self.max_workers = self._resolve_auto_workers(
+                stats.estimated_peak_bytes
+            )
+            stats.max_workers = self.max_workers
         return order, refcounts, root_ids
+
+    def _resolve_auto_workers(self, estimated_peak_bytes: int) -> int:
+        """Pool size for ``executor.max_workers="auto"``.
+
+        The static order's simulated peak is (roughly) one worker's
+        working set, so ``budget // peak`` concurrent workers is the
+        most parallelism the budget provably sustains.  Unbudgeted
+        sessions (or plans with no byte estimates) get the CPU cap.
+        """
+        import os
+
+        cap = max(1, min(8, os.cpu_count() or 4))
+        budget = self.memory.budget
+        if budget is None or estimated_peak_bytes <= 0:
+            return cap
+        return max(1, min(cap, budget // estimated_peak_bytes))
 
     def _materialize_roots(self, roots: Sequence[Node]) -> List[object]:
         results = []
@@ -191,9 +227,10 @@ class Scheduler:
             # backends this materializes (and pins) the partitions.
             value = self.backend.persist(value)
         node.set_result(value)
+        wall = time.perf_counter() - started
         stats.record_node(
             node,
-            wall_seconds=time.perf_counter() - started,
+            wall_seconds=wall,
             queue_wait_seconds=queue_wait,
             bytes_registered=memory.total_registered - reg_before,
             bytes_released=memory.total_released - rel_before,
@@ -201,6 +238,8 @@ class Scheduler:
             bytes_estimated=self._estimates.get(node.id),
         )
         self._record_op_stats(node, value, inputs, stats)
+        if self.cache_state is not None:
+            self.cache_state.offer(node, value, wall)
 
     @staticmethod
     def _record_op_stats(node: Node, value: object, inputs: List[object],

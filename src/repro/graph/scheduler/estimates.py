@@ -119,6 +119,9 @@ def _estimate(
         return max(1, int(total) // parts)
     if op == "read_csv":
         return _read_csv_estimate(node, metastore)
+    if op == "from_cached":
+        nbytes = node.args.get("nbytes")
+        return int(nbytes) if isinstance(nbytes, (int, float)) else None
     if op in ("from_data", "from_pandas"):
         payload = node.args.get("data") or node.args.get("frame")
         nbytes = getattr(payload, "nbytes", None)

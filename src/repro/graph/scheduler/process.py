@@ -191,7 +191,9 @@ class ProcessScheduler(Scheduler):
 
     def _pool(self):
         if self.session is not None:
-            return self.session.process_pool()
+            # pass the resolved size through: under max_workers="auto"
+            # the per-run resolution in _plan must size the pool too.
+            return self.session.process_pool(self.max_workers)
         if self._private_pool is None:
             self._private_pool = create_worker_pool(
                 self.max_workers, None,
@@ -482,3 +484,5 @@ class ProcessScheduler(Scheduler):
                 bytes_estimated=self._estimates.get(node.id),
             )
             self._record_op_stats(node, value if last else None, [], stats)
+        if self.cache_state is not None:
+            self.cache_state.offer(final, value, done - submitted)

@@ -53,6 +53,16 @@ class ExecutionStats:
         self.wall_seconds = 0.0
         self.nodes_executed = 0
         self.cache_hits = 0
+        #: cross-session result-cache accounting (``optimizer.reuse``):
+        #: fingerprint probes that missed, serialized bytes served from
+        #: the cache instead of recomputed, entries this run's inserts
+        #: pushed out of the cache, and results inserted for later runs.
+        #: ``cache_hits`` above counts both per-session persisted-node
+        #: reuse and cross-session substitutions.
+        self.cache_misses = 0
+        self.cache_bytes_reused = 0
+        self.cache_evictions = 0
+        self.cache_inserted = 0
         self.fused_chains = 0
         self.fused_nodes = 0
         self.throttle_waits = 0
@@ -148,6 +158,16 @@ class ExecutionStats:
         with self._lock:
             self.cache_hits += 1
 
+    def record_cache_run(self, hits: int, misses: int, bytes_reused: int,
+                         evictions: int, inserted: int) -> None:
+        """Publish one run's cross-session result-cache counters."""
+        with self._lock:
+            self.cache_hits += hits
+            self.cache_misses += misses
+            self.cache_bytes_reused += bytes_reused
+            self.cache_evictions += evictions
+            self.cache_inserted += inserted
+
     def record_throttle_wait(self) -> None:
         with self._lock:
             self.throttle_waits += 1
@@ -168,6 +188,10 @@ class ExecutionStats:
             "wall_seconds": self.wall_seconds,
             "nodes_executed": self.nodes_executed,
             "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_bytes_reused": self.cache_bytes_reused,
+            "cache_evictions": self.cache_evictions,
+            "cache_inserted": self.cache_inserted,
             "fused_chains": self.fused_chains,
             "fused_nodes": self.fused_nodes,
             "throttle_waits": self.throttle_waits,
@@ -200,6 +224,14 @@ class ExecutionStats:
             f" manager_peak={self.manager_peak_bytes}B"
         )
         lines = [head]
+        if (self.cache_misses or self.cache_bytes_reused
+                or self.cache_evictions or self.cache_inserted):
+            lines.append(
+                f"result cache: {self.cache_bytes_reused}B reused, "
+                f"{self.cache_misses} misses, "
+                f"{self.cache_inserted} inserted, "
+                f"{self.cache_evictions} evictions"
+            )
         if self.fused_chains:
             lines.append(
                 f"fused {self.fused_nodes} nodes into {self.fused_chains} chains"

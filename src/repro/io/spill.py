@@ -44,6 +44,18 @@ _EMPTY_IDX = np.empty(0, dtype=np.int64)
 #: spill chunks held by *another* operator's store (a merge keeps two
 #: stores live at once; spilling only your own cannot free the other
 #: side's bytes).  Weak so abandoned stores never pin their chunks.
+#:
+#: Ownership contract: a ShuffleStore's spill files belong to the
+#: *execution* that created it and die with ``close()`` (or the
+#: finalizer) -- at session close at the latest.  Results that outlive
+#: their creating session belong to the cross-session
+#: :class:`repro.cache.result_cache.ResultCache` instead, which keeps
+#: its own directory and deletes an entry's file at *eviction* time,
+#: never waiting for any session to close.  The two tiers never share
+#: files: caching a shuffle-derived result serializes the materialized
+#: value into the cache's directory, so evicting it can never touch a
+#: live store's chunks (and a store closing can never strand a cached
+#: result).
 _LIVE_STORES: "weakref.WeakSet[ShuffleStore]" = weakref.WeakSet()
 
 

@@ -31,9 +31,11 @@ def _cmd_list(_args) -> int:
 
 def _cmd_run(args) -> int:
     runner = Runner(base_rows=args.rows, enforce_budget=not args.no_budget)
+    options = {"optimizer.reuse": True} if args.reuse else None
     result = runner.run(args.program, args.mode, args.size,
                         strategy=args.strategy,
-                        source_format=args.source_format)
+                        source_format=args.source_format,
+                        options=options)
     status = "ok" if result.ok else f"FAILED ({result.error})"
     print(f"{result.label}: {status}")
     print(f"  time: {result.seconds:.3f}s  peak: {result.peak_bytes / 1e6:.2f} MB"
@@ -41,6 +43,13 @@ def _cmd_run(args) -> int:
           f"  source: {result.source_format or 'csv'}")
     if result.result_hash:
         print(f"  result md5: {result.result_hash}")
+    stats = result.execution_stats or {}
+    if any(stats.get(k) for k in ("cache_bytes_reused", "cache_misses",
+                                  "cache_inserted", "cache_evictions")):
+        print(f"  result cache: {stats.get('cache_bytes_reused', 0)}B reused,"
+              f" {stats.get('cache_misses', 0)} misses,"
+              f" {stats.get('cache_inserted', 0)} inserted,"
+              f" {stats.get('cache_evictions', 0)} evictions")
     if args.stats:
         print(json.dumps(result.to_dict(), indent=2, default=str))
     if args.show_output:
@@ -81,6 +90,16 @@ def _cmd_lint(args) -> int:
         failures += 0 if report.ok else 1
     runner.cleanup()
     return 1 if failures else 0
+
+
+def _cmd_cache(_args) -> int:
+    from repro.cache.result_cache import result_cache
+
+    info = result_cache().info()
+    width = max(len(k) for k in info)
+    for key, value in info.items():
+        print(f"{key:<{width}}  {value}")
+    return 0
 
 
 def _cmd_verify(args) -> int:
@@ -129,6 +148,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit the full result record (incl. per-node scheduler "
              "stats) as JSON",
     )
+    run.add_argument(
+        "--reuse", action="store_true",
+        help="enable the cross-session result cache (optimizer.reuse) "
+             "for the cell",
+    )
     run.set_defaults(func=_cmd_run)
 
     grid = sub.add_parser("grid", help="Figure 12 style applicability grid")
@@ -151,6 +175,11 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument("--verbose", action="store_true",
                       help="print diagnostics even for clean programs")
     lint.set_defaults(func=_cmd_lint)
+
+    sub.add_parser(
+        "cache",
+        help="show the process-global result cache's counters and sizes",
+    ).set_defaults(func=_cmd_cache)
 
     verify = sub.add_parser("verify", help="md5 regression vs plain pandas")
     verify.add_argument("program", nargs="?", default=None)

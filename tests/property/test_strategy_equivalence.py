@@ -272,6 +272,49 @@ class TestStrategyEquivalence:
             {"optimizer.shuffle_threshold_bytes": 100}, tmp_dir,
         )
 
+    @given(data=tables(), right=right_tables(), plan=plans(),
+           fmt=st.sampled_from(["csv", "jsonl"]))
+    @settings(max_examples=8, deadline=None)
+    def test_cache_warm_and_cold_identical_across_grid(
+        self, tmp_path_factory, data, right, plan, fmt
+    ):
+        """The cross-session result cache (``optimizer.reuse``) must be
+        invisible: with caching on, both the cold run (which inserts)
+        and the warm run (which substitutes ``from_cached`` leaves) must
+        match the same backend's reuse-off serial result bit-for-bit,
+        on every strategy.  ``cache.min_cost: 0.0`` makes every
+        fingerprintable node cache-worthy so the substitution path is
+        maximally exercised."""
+        from repro.cache.result_cache import result_cache
+
+        tmp_dir = _fresh_dir(tmp_path_factory)
+        left_path = _write_table(data, tmp_dir, "left", fmt)
+        right_path = _write_table(right, tmp_dir, "right", fmt)
+        for backend in BACKENDS:
+            result_cache().clear()
+            with Session(backend=backend,
+                         options={"executor.strategy": "serial"}):
+                baseline = _build(plan, fmt, left_path, right_path).collect()
+            for strategy in ["serial"] + [
+                s for s in STRATEGIES if s != "serial"
+            ]:
+                opts = {
+                    "executor.strategy": strategy,
+                    "executor.max_workers": 2,
+                    "optimizer.reuse": True,
+                    "cache.min_cost": 0.0,
+                }
+                for leg in ("cold", "warm"):
+                    with Session(backend=backend, options=opts):
+                        result = _build(
+                            plan, fmt, left_path, right_path
+                        ).collect()
+                    assert _equal(result, baseline), (
+                        f"cached {leg} run diverged from uncached serial: "
+                        f"{backend}/{strategy}\nplan: {plan}"
+                    )
+        result_cache().clear()
+
     @given(seed=st.integers(min_value=0, max_value=2**16),
            key_range=st.integers(min_value=30, max_value=60))
     @settings(max_examples=2, deadline=None)

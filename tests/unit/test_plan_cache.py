@@ -1,0 +1,543 @@
+"""Plan fingerprinting and the cross-session result cache (PR 9).
+
+Three layers under test: the deterministic content fingerprint
+(``repro.cache.fingerprint``), the process-global two-tier LRU blob
+store (``repro.cache.result_cache``), and the ``optimizer.reuse``
+substitution pass that rewires fingerprint-hit subplans into
+``from_cached`` leaves.  The correctness edges the cache must never
+get wrong -- source mutation invalidation, semantic-option keying,
+eviction reclaiming every byte and file, concurrent insert/evict on
+one key -- each get a direct test.
+"""
+
+import os
+import subprocess
+import sys
+import threading
+
+import numpy as np
+import pytest
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.cache.fingerprint import (
+    Unfingerprintable,
+    fingerprint_node,
+    source_signature,
+)
+from repro.cache.result_cache import (
+    ResultCache,
+    deserialize_value,
+    result_cache,
+    serialize_value,
+)
+from repro.core.session import Session
+from repro.frame import DataFrame, Series
+from repro.graph.scheduler import SerialScheduler
+from repro.memory.manager import MemoryManager
+
+#: reuse enabled with the cost floor disarmed, so even tiny test plans
+#: are cache-worthy.
+REUSE = {"optimizer.reuse": True, "cache.min_cost": 0.0}
+
+
+@pytest.fixture(autouse=True)
+def _fresh_cache():
+    """The result cache is process-global; isolate every test."""
+    result_cache().clear()
+    yield
+    result_cache().clear()
+
+
+def _golden_plan():
+    df = lfp.DataFrame({
+        "a": np.array([1, 2, 3], dtype=np.int64),
+        "b": np.array([0.5, 1.5, -2.0], dtype=np.float64),
+    })
+    return (df["a"] * 2 + df["b"]).sum()
+
+
+#: sha256 hex digest of ``_golden_plan()`` -- pinned so an encoding
+#: change (which silently orphans every previously cached entry) is a
+#: deliberate, reviewed event, not an accident.  If you changed the
+#: fingerprint encoding on purpose, bump ``_VERSION`` in
+#: ``repro/cache/fingerprint.py`` and re-pin this digest.
+GOLDEN_DIGEST = (
+    "32c77fe13dcbbeccff49ce2af6cd3fadb6b0157dcafb4e5ef480de1206404754"
+)
+
+_GOLDEN_SNIPPET = """
+import numpy as np
+import repro.lazyfatpandas.pandas as lfp
+from repro.core.session import Session
+from repro.cache.fingerprint import fingerprint_node
+
+with Session(backend="pandas"):
+    df = lfp.DataFrame({
+        "a": np.array([1, 2, 3], dtype=np.int64),
+        "b": np.array([0.5, 1.5, -2.0], dtype=np.float64),
+    })
+    print(fingerprint_node((df["a"] * 2 + df["b"]).sum().node))
+"""
+
+
+class TestFingerprint:
+    def test_same_plan_same_digest_across_sessions(self):
+        with Session(backend="pandas"):
+            a = fingerprint_node(_golden_plan().node)
+        with Session(backend="pandas"):
+            b = fingerprint_node(_golden_plan().node)
+        assert a == b
+
+    def test_golden_digest_pinned(self):
+        with Session(backend="pandas"):
+            assert fingerprint_node(_golden_plan().node) == GOLDEN_DIGEST
+
+    def test_cross_process_equality(self):
+        """The digest must be identical in a fresh interpreter -- the
+        whole point of a cross-session cache key."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (
+            "src" + os.pathsep + env.get("PYTHONPATH", "")
+        ).rstrip(os.pathsep)
+        out = subprocess.run(
+            [sys.executable, "-c", _GOLDEN_SNIPPET],
+            capture_output=True, text=True, env=env, check=True,
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(
+                os.path.abspath(__file__)
+            ))),
+        )
+        assert out.stdout.strip() == GOLDEN_DIGEST
+
+    def test_arg_change_changes_digest(self):
+        with Session(backend="pandas"):
+            df = lfp.DataFrame({"a": np.array([1, 2, 3])})
+            assert (
+                fingerprint_node((df["a"] * 2).node)
+                != fingerprint_node((df["a"] * 3).node)
+            )
+
+    def test_payload_change_changes_digest(self):
+        with Session(backend="pandas"):
+            one = lfp.DataFrame({"a": np.array([1, 2, 3])})
+            two = lfp.DataFrame({"a": np.array([1, 2, 4])})
+            assert (
+                fingerprint_node(one["a"].sum().node)
+                != fingerprint_node(two["a"].sum().node)
+            )
+
+    def test_source_mtime_changes_digest(self, make_csv):
+        path = make_csv({"x": [1, 2, 3]})
+        with Session(backend="pandas"):
+            before = fingerprint_node(lfp.read_csv(path).x.sum().node)
+        st = os.stat(path)
+        os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        with Session(backend="pandas"):
+            after = fingerprint_node(lfp.read_csv(path).x.sum().node)
+        assert before != after
+
+    def test_same_size_rewrite_changes_digest(self, make_csv):
+        """An in-place rewrite that keeps the byte size identical must
+        still flip the fingerprint (mtime_ns is part of the stat sig)."""
+        path = make_csv({"x": [1, 2, 3]})
+        with Session(backend="pandas"):
+            before = fingerprint_node(lfp.read_csv(path).x.sum().node)
+        with open(path, "rb") as fh:
+            payload = fh.read()
+        with open(path, "wb") as fh:
+            fh.write(payload.replace(b"3", b"7", 1))
+        st = os.stat(path)
+        # same byte count; force a distinct mtime in case the rewrite
+        # landed within the filesystem's timestamp granularity
+        os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        with Session(backend="pandas"):
+            after = fingerprint_node(lfp.read_csv(path).x.sum().node)
+        assert before != after
+
+    def test_volatile_args_excluded(self, make_csv):
+        """The column-prune / pruning passes stamp advisory args
+        (``read_only_cols`` on read_csv, ``est_bytes`` on scan) onto
+        nodes; those must not shift the digest."""
+        path = make_csv({"x": [1, 2, 3]})
+        with Session(backend="pandas") as session:
+            node = lfp.read_csv(path).x.sum().node
+            base = fingerprint_node(node)
+            source = node
+            while source.inputs:
+                source = source.inputs[0]
+            assert source.op == "read_csv"
+            source.args["read_only_cols"] = ("x",)
+            try:
+                session._fingerprint_cache.clear()
+                assert fingerprint_node(node) == base
+            finally:
+                source.args.pop("read_only_cols", None)
+
+    def test_udf_plans_are_unfingerprintable(self):
+        with Session(backend="pandas"):
+            df = lfp.DataFrame({"a": np.array([1, 2, 3])})
+            plan = df["a"].map(lambda v: v + 1).sum()
+            with pytest.raises(Unfingerprintable):
+                fingerprint_node(plan.node)
+
+    def test_missing_source_gets_tombstone(self, tmp_path):
+        missing = os.path.join(tmp_path, "nope.csv")
+        sig = source_signature(missing)
+        assert sig == ((os.path.abspath(missing), -1, -1),)
+
+
+class TestResultCache:
+    def _blob(self, tag: str, size: int = 1000):
+        frame = DataFrame({tag: np.arange(size)})
+        return serialize_value(frame)
+
+    def _key(self, name: str):
+        return (name, "pandas", ())
+
+    def test_roundtrip_bit_identity(self):
+        frame = DataFrame({
+            "i": np.array([3, 1, 2], dtype=np.int64),
+            "f": np.array([0.25, np.nan, -1.5]),
+            "s": np.array(["a", None, "c"], dtype=object),
+        })
+        blob, kind = serialize_value(frame)
+        assert kind == "frame"
+        back = deserialize_value(blob)
+        assert list(back.columns) == list(frame.columns)
+        for col in frame.columns:
+            a, b = frame.column(col).to_array(), back.column(col).to_array()
+            assert a.dtype == b.dtype
+            if a.dtype.kind == "f":
+                assert (((a == b) | ((a != a) & (b != b)))).all()
+            else:
+                assert all(x == y or (x is None and y is None)
+                           for x, y in zip(a, b))
+
+    def test_serialize_kinds(self):
+        assert serialize_value(DataFrame({"a": [1]}))[1] == "frame"
+        assert serialize_value(Series([1], name="s"))[1] == "series"
+        assert serialize_value(np.float64(1.5))[1] == "scalar"
+        assert serialize_value(None)[1] == "scalar"
+        with pytest.raises(TypeError):
+            serialize_value(object())
+
+    def test_memory_budget_never_overshoots(self):
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        budget = len(blob) * 2 + 10
+        for i in range(8):
+            cache.put(self._key(f"k{i}"), blob, kind, budget=budget)
+        assert cache.memory.peak <= budget
+        assert cache.memory.live <= budget
+        info = cache.info()
+        assert info["entries"] == 8
+        assert info["demotions"] >= 6  # the cold ones went to disk
+        cache.clear()
+
+    def test_lru_demotes_coldest_first(self):
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        budget = len(blob) * 2 + 10
+        cache.put(self._key("a"), blob, kind, budget=budget)
+        cache.put(self._key("b"), blob, kind, budget=budget)
+        cache.get(self._key("a"), budget=budget)  # refresh a
+        cache.put(self._key("c"), blob, kind, budget=budget)
+        in_memory = {
+            e.key[0] for e in cache._entries.values() if e.in_memory
+        }
+        assert "b" not in in_memory  # b was coldest
+        assert "a" in in_memory and "c" in in_memory
+        cache.clear()
+
+    def test_disk_promotion_restores_memory_tier(self):
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        budget = len(blob) + 10
+        cache.put(self._key("a"), blob, kind, budget=budget)
+        cache.put(self._key("b"), blob, kind, budget=budget)  # demotes a
+        entry_a = cache._entries[self._key("a")]
+        assert not entry_a.in_memory and entry_a.path is not None
+        hit = cache.get(self._key("a"), budget=budget)  # promotes a
+        assert hit is not None and hit[0] == blob
+        assert entry_a.in_memory and entry_a.path is None
+        cache.clear()
+
+    def test_eviction_deletes_files_immediately(self):
+        """Satellite (f): a cached-then-evicted result's spill file is
+        gone at eviction time, not at interpreter/session close."""
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        budget = len(blob) + 10
+        spill_budget = len(blob) * 2 + 10
+        paths = []
+        evicted = 0
+        for i in range(6):
+            evicted += cache.put(
+                self._key(f"k{i}"), blob, kind,
+                budget=budget, spill_budget=spill_budget,
+            )
+            paths.extend(
+                e.path for e in cache._entries.values() if e.path
+            )
+        assert evicted > 0
+        live_paths = {e.path for e in cache._entries.values() if e.path}
+        for path in paths:
+            if path not in live_paths:
+                assert not os.path.exists(path), (
+                    "evicted entry file leaked until close"
+                )
+        info = cache.info()
+        assert info["disk_bytes"] <= spill_budget
+        cache.clear()
+
+    def test_eviction_releases_bytes_without_double_release(self):
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        budget = len(blob) * 2 + 10
+        for i in range(10):
+            cache.put(self._key(f"k{i}"), blob, kind, budget=budget)
+        cache.clear()
+        assert cache.memory.live == 0
+        assert cache.memory.double_release_count == 0
+
+    def test_oversized_blob_rejected(self):
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        assert cache.put(
+            self._key("big"), blob, kind,
+            budget=10, spill_budget=len(blob) - 1,
+        ) == 0
+        assert len(cache) == 0
+        assert cache.info()["rejected"] == 1
+        cache.clear()
+
+    def test_concurrent_insert_evict_race_on_one_key(self):
+        """Sessions race put/get/clear on a shared key; the cache must
+        stay consistent: no exception, no double release, no leaked
+        file, no budget overshoot."""
+        cache = ResultCache()
+        blob, kind = self._blob("x")
+        budget = len(blob) * 2 + 10
+        spill_budget = len(blob) * 3 + 10
+        errors = []
+
+        def hammer(worker: int) -> None:
+            try:
+                for i in range(60):
+                    key = self._key(f"k{i % 4}")
+                    cache.put(blob=blob, kind=kind, key=key,
+                              budget=budget, spill_budget=spill_budget)
+                    hit = cache.get(key, budget=budget)
+                    if hit is not None:
+                        assert hit[0] == blob
+                    if i % 17 == worker:
+                        cache.clear()
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=hammer, args=(w,)) for w in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert cache.memory.peak <= budget
+        assert cache.memory.double_release_count == 0
+        cache.clear()
+        assert cache.memory.live == 0
+
+
+def _collect_sum(path):
+    frame = lfp.read_csv(path)
+    return (frame.x * 2 + frame.y).sum().collect()
+
+
+class TestSubstitution:
+    def test_warm_session_serves_from_cache(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE) as s1:
+            cold = _collect_sum(path)
+            cold_stats = s1.last_execution_stats
+        assert cold_stats.cache_inserted >= 1
+        assert cold_stats.cache_misses >= 1
+        with Session(backend="pandas", options=REUSE) as s2:
+            warm = _collect_sum(path)
+            warm_stats = s2.last_execution_stats
+        assert warm == cold
+        assert warm_stats.cache_hits >= 1
+        assert warm_stats.cache_bytes_reused > 0
+        # the whole plan collapsed to one from_cached leaf
+        assert warm_stats.nodes_executed == 1
+
+    def test_reuse_off_never_touches_cache(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE):
+            _collect_sum(path)
+        inserted = result_cache().info()["insertions"]
+        with Session(backend="pandas") as s:
+            _collect_sum(path)
+            stats = s.last_execution_stats
+        assert stats.cache_misses == 0
+        assert stats.cache_bytes_reused == 0
+        assert result_cache().info()["insertions"] == inserted
+
+    def test_counters_in_stats_dict_and_render(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE):
+            _collect_sum(path)
+        with Session(backend="pandas", options=REUSE) as s:
+            _collect_sum(path)
+            stats = s.last_execution_stats
+        as_dict = stats.to_dict()
+        for field in ("cache_hits", "cache_misses", "cache_bytes_reused",
+                      "cache_evictions", "cache_inserted"):
+            assert field in as_dict
+        assert as_dict["cache_hits"] >= 1
+        assert "result cache:" in stats.render()
+
+    def test_explain_stats_shows_cache_line(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE):
+            _collect_sum(path)
+        with Session(backend="pandas", options=REUSE):
+            frame = lfp.read_csv(path)
+            expr = (frame.x * 2 + frame.y).sum()
+            expr.collect()
+            text = expr.explain(stats=True)
+        assert "result cache:" in text
+
+    def test_explain_elides_blob_bytes(self, make_csv):
+        """from_cached args carry the raw pickle; explain() must never
+        render it."""
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE):
+            _collect_sum(path)
+        with Session(backend="pandas", options=REUSE) as session:
+            frame = lfp.read_csv(path)
+            expr = (frame.x * 2 + frame.y).sum()
+            from repro.core.optimizer.cache import (
+                substitute_cached_subplans,
+            )
+            state = substitute_cached_subplans([expr.node], session)
+            assert state.hits >= 1
+            text = expr.explain(optimized=False)
+        assert "from_cached" in text
+        assert "blob=" not in text
+
+    def test_backend_is_part_of_the_key(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE):
+            _collect_sum(path)
+        with Session(backend="dask", options=REUSE) as s:
+            _collect_sum(path)
+            stats = s.last_execution_stats
+        assert stats.cache_hits == 0  # pandas entries never serve dask
+
+    def test_cost_floor_filters_cheap_results(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        expensive = {"optimizer.reuse": True, "cache.min_cost": 1e9}
+        with Session(backend="pandas", options=expensive) as s:
+            _collect_sum(path)
+            stats = s.last_execution_stats
+        assert stats.cache_inserted == 0
+        assert len(result_cache()) == 0
+
+
+class TestInvalidation:
+    def test_source_rewrite_invalidates(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE):
+            first = _collect_sum(path)
+        DataFrame({"x": [7, 8, 9], "y": [4, 5, 6]}).to_csv(path)
+        st = os.stat(path)
+        os.utime(path, ns=(st.st_atime_ns, st.st_mtime_ns + 1_000_000))
+        with Session(backend="pandas", options=REUSE) as s:
+            second = _collect_sum(path)
+            stats = s.last_execution_stats
+        assert second != first  # fresh data, fresh result
+        assert stats.cache_hits == 0
+
+    def test_semantic_option_flip_is_a_miss(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE) as s:
+            _collect_sum(path)
+            with lfp.option_context("workload.source_format", "jsonl"):
+                _collect_sum(path)
+                flipped = s.last_execution_stats
+        assert flipped.cache_hits == 0
+        assert flipped.cache_misses >= 1
+
+    def test_non_semantic_option_flip_still_hits(self, make_csv):
+        path = make_csv({"x": [1, 2, 3], "y": [4, 5, 6]})
+        with Session(backend="pandas", options=REUSE) as s:
+            _collect_sum(path)
+            with lfp.option_context("executor.static_order", False):
+                _collect_sum(path)
+                flipped = s.last_execution_stats
+        assert flipped.cache_hits >= 1
+
+
+class TestAutoWorkers:
+    def _scheduler(self, budget):
+        from repro.backends.pandas_backend import PandasBackend
+
+        scheduler = SerialScheduler(
+            PandasBackend(), memory=MemoryManager(budget=budget)
+        )
+        scheduler.auto_workers = True
+        return scheduler
+
+    def test_unbudgeted_resolves_to_cpu_cap(self):
+        resolved = self._scheduler(None)._resolve_auto_workers(10_000)
+        assert resolved == max(1, min(8, os.cpu_count() or 4))
+
+    def test_budget_bounds_workers(self):
+        cap = max(1, min(8, os.cpu_count() or 4))
+        scheduler = self._scheduler(30_000)
+        # budget sustains 3 concurrent working sets (clamped to the cap)
+        assert scheduler._resolve_auto_workers(10_000) == min(cap, 3)
+        # one working set alone exceeds the budget: never go below 1
+        assert scheduler._resolve_auto_workers(40_000) == 1
+
+    def test_auto_option_threads_through_session(self, make_csv):
+        path = make_csv({"x": list(range(50)), "y": list(range(50))})
+        with Session(backend="pandas", options={
+            "executor.strategy": "threaded",
+            "executor.max_workers": "auto",
+        }) as s:
+            _collect_sum(path)
+            stats = s.last_execution_stats
+        cap = max(1, min(8, os.cpu_count() or 4))
+        assert 1 <= stats.max_workers <= cap
+
+    def test_auto_rejected_values(self):
+        from repro.core.config import OptionError
+
+        with pytest.raises(OptionError):
+            Session(backend="pandas",
+                    options={"executor.max_workers": "many"})
+
+
+class TestProcessStrategyCache:
+    """Reuse under the process strategy (the CI spawn leg runs this
+    file with LAFP_PROCESS_START_METHOD=spawn, so both start methods
+    stay covered)."""
+
+    def test_process_strategy_warm_hit(self, make_csv):
+        path = make_csv({"x": list(range(30)), "y": list(range(30))})
+        opts = dict(REUSE)
+        opts.update({
+            "executor.strategy": "process",
+            "executor.max_workers": 2,
+        })
+        with Session(backend="pandas", options=opts) as s1:
+            cold = _collect_sum(path)
+            assert s1.last_execution_stats.cache_inserted >= 1
+            s1.close()
+        with Session(backend="pandas", options=opts) as s2:
+            warm = _collect_sum(path)
+            stats = s2.last_execution_stats
+            s2.close()
+        assert warm == cold
+        assert stats.cache_hits >= 1
