@@ -1,0 +1,205 @@
+"""Columnar scan benchmark: chunk-pruned byte-range reads + prefetch.
+
+The columnar subsystem's payoff in two numbers:
+
+- **byte pruning** -- a selective filter over a sorted ``.lfc`` file
+  must collect a result bit-identical to the same pipeline over the CSV
+  twin while fetching at most 25% of the file's bytes (one column's
+  chunks in one row group out of a wide multi-group file), measured by
+  the session's ``bytes_read`` counter, not wall clock,
+- **latency overlap** -- the same scan against the in-memory object
+  store with 5ms charged per range read: the threaded scheduler's
+  prefetch must overlap those waits for >=1.5x over the serial
+  no-prefetch run (the perf assertion only arms at full benchmark
+  size; the smoke leg checks correctness and the byte accounting).
+
+Prints a paper-style table and emits JSON (``LAFP_BENCH_JSON`` names an
+output path; default prints to stdout) like the other benchmarks.
+"""
+
+import json
+import os
+import shutil
+import tempfile
+import time
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+
+import repro.lazyfatpandas.pandas as lfp
+from repro.core.session import Session
+from repro.frame import DataFrame
+from repro.io import memory_store, write_columnar
+from repro.io.prefetch import range_cache
+
+ROWS = int(os.environ.get("LAFP_BENCH_ROWS", "3000"))
+N_GROUPS = 8
+REPEATS = 3
+LATENCY_SECONDS = 0.005
+#: below this S-size the fixed per-collect overhead drowns the latency
+#: overlap; the smoke leg runs tiny and only checks correctness.
+PERF_ASSERT_MIN_ROWS = 2000
+
+
+def _table(rows: int) -> DataFrame:
+    """A wide sorted table: one narrow key column worth reading, many
+    padding columns worth *not* reading."""
+    rng = np.random.default_rng(31)
+    columns = {
+        "k": np.arange(rows, dtype=np.int64),
+        "value": np.round(rng.normal(50, 20, rows), 2),
+    }
+    for i in range(6):
+        columns[f"pad_{i}"] = np.array(
+            [f"p{i}-{j:08d}-{'x' * 24}" for j in range(rows)], dtype=object
+        )
+    return DataFrame(columns)
+
+
+@pytest.fixture(scope="module")
+def paths():
+    rows = ROWS * N_GROUPS
+    frame = _table(rows)
+    base = tempfile.mkdtemp(prefix="lafp-columnar-bench-")
+    csv_path = os.path.join(base, "t.csv")
+    lfc_path = os.path.join(base, "t.lfc")
+    frame.to_csv(csv_path)
+    write_columnar(frame, lfc_path, row_group_rows=ROWS)
+    url = "memory://bench/t.lfc"
+    write_columnar(frame, url, row_group_rows=ROWS)
+    yield {"csv": csv_path, "lfc": lfc_path, "url": url, "rows": rows}
+    shutil.rmtree(base, ignore_errors=True)
+    memory_store().reset()
+    range_cache().clear()
+
+
+def _selective(scan):
+    """Filter on the sorted key (last row group only) + narrow project."""
+    return scan[scan["k"] >= ROWS * (N_GROUPS - 1)][["k", "value"]]
+
+
+@pytest.mark.bench
+def test_bench_columnar_byte_pruning(paths):
+    with Session(backend="pandas") as session:
+        via_csv = _selective(lfp.scan_csv(paths["csv"])).collect()
+    with Session(backend="pandas") as session:
+        via_lfc = _selective(lfp.scan_columnar(paths["lfc"])).collect()
+        stats = session.last_execution_stats.to_dict()
+
+    # correctness first: the formats must agree bit-for-bit
+    assert list(via_lfc.columns) == list(via_csv.columns)
+    for column in via_csv.columns:
+        assert np.array_equal(
+            via_csv.column(column).to_array(),
+            via_lfc.column(column).to_array(),
+        )
+    assert len(via_lfc) == ROWS
+
+    file_bytes = os.path.getsize(paths["lfc"])
+    read_fraction = stats["bytes_read"] / file_bytes
+    print(f"\ncolumnar selective scan: {stats['bytes_read']} of "
+          f"{file_bytes} file bytes read ({read_fraction:.1%})")
+    # 2 of 8 columns in 1 of 8 row groups; 25% is a generous ceiling
+    assert read_fraction <= 0.25, (
+        f"selective scan read {read_fraction:.1%} of the file; the "
+        "chunk-pruned byte-range path is not engaging"
+    )
+
+
+def _full_scan(scan):
+    """Both narrow columns across every row group: maximum ranges to
+    overlap (the padding columns stay pruned either way)."""
+    return scan[["k", "value"]]
+
+
+def _measure_remote(url, strategy: str, prefetch: bool):
+    seconds = []
+    frame = None
+    stats = None
+    for _ in range(REPEATS):
+        range_cache().clear()
+        with Session(backend="pandas", options={
+            "executor.strategy": strategy,
+            "io.prefetch": prefetch,
+        }) as session:
+            started = time.perf_counter()
+            frame = _full_scan(lfp.scan_columnar(url)).collect()
+            seconds.append(time.perf_counter() - started)
+            stats = session.last_execution_stats.to_dict()
+    return {
+        "strategy": strategy,
+        "prefetch": prefetch,
+        "best_seconds": min(seconds),
+        "mean_seconds": sum(seconds) / len(seconds),
+        "bytes_read": stats["bytes_read"],
+        "ranges_prefetched": stats["ranges_prefetched"],
+        "prefetch_hits": stats["prefetch_hits"],
+        "result_rows": len(frame),
+    }, frame
+
+
+@pytest.mark.bench
+def test_bench_columnar_prefetch_overlap(paths):
+    store = memory_store()
+    store.latency = LATENCY_SECONDS
+    try:
+        serial, serial_frame = _measure_remote(
+            paths["url"], "serial", prefetch=False
+        )
+        threaded, threaded_frame = _measure_remote(
+            paths["url"], "threaded", prefetch=True
+        )
+    finally:
+        store.latency = 0.0
+
+    # correctness first: prefetch must be invisible in the data
+    for column in serial_frame.columns:
+        assert np.array_equal(
+            serial_frame.column(column).to_array(),
+            threaded_frame.column(column).to_array(),
+        )
+    assert serial["result_rows"] == paths["rows"]
+    # identical bytes fetched; the threaded run just overlapped the waits
+    assert threaded["bytes_read"] == serial["bytes_read"]
+    assert threaded["prefetch_hits"] > 0
+    assert serial["ranges_prefetched"] == 0
+
+    speedup = serial["best_seconds"] / threaded["best_seconds"]
+    report = {
+        "rows_per_group": ROWS,
+        "n_groups": N_GROUPS,
+        "repeats": REPEATS,
+        "latency_per_range_seconds": LATENCY_SECONDS,
+        "speedup_best": speedup,
+        "results": [serial, threaded],
+    }
+
+    print_table(
+        f"Columnar remote scan @ {LATENCY_SECONDS * 1e3:.0f}ms/range (ms)",
+        ["run", "best", "mean", "prefetch hits"],
+        [
+            [
+                f"{r['strategy']}{'+prefetch' if r['prefetch'] else ''}",
+                f"{r['best_seconds'] * 1e3:.2f}",
+                f"{r['mean_seconds'] * 1e3:.2f}",
+                f"{r['prefetch_hits']}/{r['ranges_prefetched']}",
+            ]
+            for r in (serial, threaded)
+        ],
+    )
+    print(f"speedup (best/best): {speedup:.2f}x")
+
+    out_path = os.environ.get("LAFP_BENCH_JSON")
+    payload = json.dumps(report, indent=2)
+    if out_path:
+        with open(out_path, "w") as f:
+            f.write(payload + "\n")
+    else:
+        print(payload)
+
+    if ROWS >= PERF_ASSERT_MIN_ROWS:
+        assert speedup >= 1.5, (
+            f"expected >=1.5x from prefetch overlap, got {speedup:.2f}x"
+        )

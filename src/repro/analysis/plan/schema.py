@@ -178,6 +178,7 @@ class SchemaContext:
         self.session = session
         self.metastore = getattr(session, "metastore", None)
         self._source_cache: Dict[Tuple[str, str], Optional[List[str]]] = {}
+        self._dtype_cache: Dict[Tuple[str, str], Dict[str, str]] = {}
 
     def source_schema(self, args: dict) -> Optional[List[str]]:
         key = (str(args.get("format")), str(args.get("path")))
@@ -201,6 +202,21 @@ class SchemaContext:
         if meta is None:
             return {}
         return {name: stats.dtype for name, stats in meta.columns.items()}
+
+    def source_dtypes(self, args: dict) -> Dict[str, str]:
+        """Dtypes declared by the source itself (a columnar footer):
+        authoritative -- the file records what it stores, no sampling."""
+        key = (str(args.get("format")), str(args.get("path")))
+        if key not in self._dtype_cache:
+            try:
+                from repro.io.registry import resolve_source
+
+                source = resolve_source(args, metastore=self.metastore)
+                hook = getattr(source, "dtypes", None)
+                self._dtype_cache[key] = dict(hook()) if hook else {}
+            except Exception:  # noqa: BLE001 - missing file, bad footer
+                self._dtype_cache[key] = {}
+        return dict(self._dtype_cache[key])
 
 
 def infer_schemas(
@@ -317,6 +333,7 @@ def _scan_schema(node, inputs, ctx) -> NodeSchema:
         wanted = set(node.args["columns"])
         columns = [c for c in columns if c in wanted]
     dtypes = ctx.file_dtypes(node.args.get("path"))
+    dtypes.update(ctx.source_dtypes(node.args))
     for name, spec in (node.args.get("dtype") or {}).items():
         norm = normalize_dtype(spec)
         if norm:

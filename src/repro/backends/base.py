@@ -48,10 +48,15 @@ class Backend:
         inside the source).  Eager backends concatenate the per-partition
         frames; partitioned backends override to keep the pieces apart.
         """
+        from repro.core.session import current_session
         from repro.frame.concat import concat_consuming
         from repro.io import Predicate, resolve_source
 
-        source = resolve_source(args)
+        # the metastore must match the one the optimizer pruned against:
+        # sub-file partition stats change the partition SET (one piece
+        # per byte range), so resolving without it would misalign the
+        # pruned partition indices.
+        source = resolve_source(args, metastore=current_session().metastore)
         predicate = Predicate.from_arg(args.get("predicate"))
         if args.get("stream"):
             # the shuffle lowering marked this scan: its sole consumer

@@ -110,7 +110,11 @@ class DaskBackend(Backend):
             options.setdefault(
                 "partition_bytes", _auto_partition_bytes(self.partition_bytes)
             )
-        source = resolve_source(options)
+        from repro.core.session import current_session
+
+        # same metastore the optimizer pruned with: sub-file partition
+        # stats change the partition set, not just its statistics.
+        source = resolve_source(options, metastore=current_session().metastore)
         parts = source.select_partitions(args.get("partitions"))
         columns = args.get("columns")
         predicate = Predicate.from_arg(args.get("predicate"))

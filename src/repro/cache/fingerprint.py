@@ -162,8 +162,21 @@ def source_signature(path: str) -> StatSig:
     Missing paths contribute a tombstone entry instead of raising --
     the scan itself will surface the real error with its own message,
     and a file that *appears* later must still flip the fingerprint.
+
+    Remote URLs (``memory://``, registered object stores) stat through
+    the byte-range filesystem layer: the store's size + version counter
+    plays the role of size + mtime, so mutating a remote object flips
+    every fingerprint scanning it.
     """
-    path = os.path.abspath(path)
+    from repro.io.fs import is_remote_url, local_path, resolve_filesystem
+
+    if is_remote_url(path):
+        try:
+            st = resolve_filesystem(path).stat(path)
+        except Exception:  # noqa: BLE001 - missing object, bad scheme
+            return ((path, -1, -1),)
+        return ((path, st.size, st.mtime_ns),)
+    path = os.path.abspath(local_path(path))
     try:
         st = os.stat(path)
     except OSError:

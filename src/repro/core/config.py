@@ -378,9 +378,10 @@ register_option(
 def _validate_source_format(value: object) -> None:
     if value is None:
         return
-    if value not in ("csv", "jsonl", "dataset"):
+    if value not in ("csv", "jsonl", "dataset", "columnar"):
         raise OptionError(
-            f"expected None, 'csv', 'jsonl' or 'dataset', got {value!r}"
+            f"expected None, 'csv', 'jsonl', 'dataset' or 'columnar', "
+            f"got {value!r}"
         )
 
 
@@ -388,8 +389,9 @@ register_option(
     "workload.source_format", None,
     doc="Physical source format benchmark programs read (the runner's "
         "--source-format axis): None/'csv' keeps the plain read_csv "
-        "path; 'jsonl'/'dataset' reroutes pd.read_csv through the "
-        "matching scan source when the sibling dataset variant exists.",
+        "path; 'jsonl'/'dataset'/'columnar' reroutes pd.read_csv "
+        "through the matching scan source when the sibling dataset "
+        "variant exists.",
     validator=_validate_source_format,
     # flipping the format changes which physical files a program's
     # read_csv resolves to, so a cached result keyed under one format
@@ -423,6 +425,36 @@ def _validate_non_negative_float(value: object) -> None:
         )
 
 
+register_option(
+    "io.retries", 2,
+    doc="How many times a transient range-read failure (the object "
+        "store's dropped-connection analogue) is retried with "
+        "exponential backoff before surfacing as ExecutionError.",
+    validator=_validate_non_negative_int,
+)
+register_option(
+    "io.retry_backoff", 0.005,
+    doc="Base backoff in seconds between range-read retries (doubles "
+        "per attempt).",
+    validator=_validate_non_negative_float,
+)
+register_option(
+    "io.prefetch", True,
+    doc="Let parallel scheduler strategies prefetch the byte ranges a "
+        "plan's scans will read (sources that can enumerate them, i.e. "
+        "columnar) so remote latency overlaps compute.  Purely a "
+        "latency optimization; reads fall back to direct fetches on "
+        "any miss.",
+    validator=_validate_bool,
+)
+register_option(
+    "io.prefetch_budget", 32 * 1024 * 1024,
+    doc="Byte ceiling of prefetched-but-unconsumed ranges (None = "
+        "unbounded).  Completed entries beyond it are evicted "
+        "oldest-first; every resident entry also charges the session's "
+        "memory budget through a TrackedBuffer.",
+    validator=_validate_optional_bytes,
+)
 register_option(
     "optimizer.reuse", False,
     doc="Serve subplans whose fingerprint hits the process-global "

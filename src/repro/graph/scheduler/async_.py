@@ -53,6 +53,7 @@ class AsyncScheduler(Scheduler):
     """Event-loop scheduling; nodes run in the loop's thread pool."""
 
     name = "async"
+    prefetches_ranges = True
 
     def __init__(self, backend, *, session=None, memory=None,
                  max_workers=None, static_order=True):
@@ -80,7 +81,9 @@ class AsyncScheduler(Scheduler):
         the *current* event loop.  Safe to await concurrently on one
         scheduler instance; see the module docstring."""
         stats = self._begin_stats()
+        io_counters, io_before = self._begin_io()
         order, refcounts, root_ids = self._plan(roots, stats)
+        prefetched_urls = self._issue_prefetch(order)
         started = time.perf_counter()
         try:
             await self._arun(order, refcounts, root_ids, stats)
@@ -88,6 +91,7 @@ class AsyncScheduler(Scheduler):
         finally:
             stats.wall_seconds = time.perf_counter() - started
             stats.manager_peak_bytes = self.memory.peak
+            self._finish_io(stats, io_counters, io_before, prefetched_urls)
         return results
 
     # -- the scheduling coroutine -----------------------------------------

@@ -54,6 +54,11 @@ class Scheduler:
     """
 
     name = "abstract"
+    #: parallel strategies set this True: after planning they issue
+    #: prefetches for the byte ranges the plan's scans will read, so
+    #: remote latency overlaps compute (serial strategies gain nothing
+    #: -- the scan is the next thing they run anyway).
+    prefetches_ranges = False
 
     def __init__(self, backend, *, session=None,
                  memory=None, max_workers: Optional[int] = None,
@@ -101,7 +106,9 @@ class Scheduler:
         Statistics of the run land in :attr:`last_stats`.
         """
         stats = self._begin_stats()
+        io_counters, io_before = self._begin_io()
         order, refcounts, root_ids = self._plan(roots, stats)
+        prefetched_urls = self._issue_prefetch(order)
         started = time.perf_counter()
         try:
             self._run(order, refcounts, root_ids, stats)
@@ -119,6 +126,7 @@ class Scheduler:
             # the session publishes these stats either way.
             stats.wall_seconds = time.perf_counter() - started
             stats.manager_peak_bytes = self.memory.peak
+            self._finish_io(stats, io_counters, io_before, prefetched_urls)
         return results
 
     # -- planning (shared by execute and AsyncScheduler.execute_async) ----
@@ -175,6 +183,45 @@ class Scheduler:
             )
             stats.max_workers = self.max_workers
         return order, refcounts, root_ids
+
+    # -- filesystem-layer accounting and prefetch -------------------------
+
+    def _begin_io(self):
+        """The session's IOCounters and their pre-run snapshot; the
+        post-run diff is exactly this execution's I/O."""
+        from repro.io.fs import session_io_counters
+
+        counters = session_io_counters(self.session)
+        return counters, counters.snapshot()
+
+    def _issue_prefetch(self, order: List[Node]) -> List[str]:
+        """Prefetch the plan's scan ranges (parallel strategies only);
+        returns the URLs touched so the run's finally can purge
+        leftovers (pruned partitions, failed runs)."""
+        if not self.prefetches_ranges:
+            return []
+        from repro.io.prefetch import prefetch_scan_node
+
+        urls: List[str] = []
+        for node in order:
+            if node.op == "scan":
+                for url in prefetch_scan_node(node, self.session):
+                    if url not in urls:
+                        urls.append(url)
+        return urls
+
+    def _finish_io(self, stats: ExecutionStats, counters, before,
+                   prefetched_urls: Sequence[str]) -> None:
+        """Purge leftover prefetches and publish the run's I/O deltas."""
+        if prefetched_urls:
+            from repro.io.prefetch import range_cache
+
+            for url in prefetched_urls:
+                range_cache().purge_url(url)
+        after = counters.snapshot()
+        stats.record_io(**{
+            key: after[key] - before[key] for key in after
+        })
 
     def _resolve_auto_workers(self, estimated_peak_bytes: int) -> int:
         """Pool size for ``executor.max_workers="auto"``.

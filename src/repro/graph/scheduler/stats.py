@@ -88,6 +88,15 @@ class ExecutionStats:
         #: used (the eager-release simulation over per-node estimates);
         #: None when the scheduler never planned an order.
         self.estimated_peak_bytes: Optional[int] = None
+        #: filesystem-layer accounting (diffed from the session's
+        #: IOCounters around the run): bytes actually fetched through
+        #: the byte-range layer, ranges the scheduler prefetched, scan
+        #: reads served from the prefetch cache, and transient range
+        #: failures absorbed by the retry layer.
+        self.bytes_read = 0
+        self.ranges_prefetched = 0
+        self.prefetch_hits = 0
+        self.io_retries = 0
         #: process-strategy accounting: tasks shipped to pool workers,
         #: tasks that fell back to in-process execution (unpicklable
         #: args or results, stream/store inputs, side effects), and
@@ -168,6 +177,15 @@ class ExecutionStats:
             self.cache_evictions += evictions
             self.cache_inserted += inserted
 
+    def record_io(self, bytes_read: int = 0, ranges_prefetched: int = 0,
+                  prefetch_hits: int = 0, io_retries: int = 0) -> None:
+        """Publish one run's filesystem-layer counter deltas."""
+        with self._lock:
+            self.bytes_read += bytes_read
+            self.ranges_prefetched += ranges_prefetched
+            self.prefetch_hits += prefetch_hits
+            self.io_retries += io_retries
+
     def record_throttle_wait(self) -> None:
         with self._lock:
             self.throttle_waits += 1
@@ -203,6 +221,10 @@ class ExecutionStats:
             "shuffle_partitions": self.shuffle_partitions,
             "bytes_spilled": self.bytes_spilled,
             "broadcast_joins": self.broadcast_joins,
+            "bytes_read": self.bytes_read,
+            "ranges_prefetched": self.ranges_prefetched,
+            "prefetch_hits": self.prefetch_hits,
+            "io_retries": self.io_retries,
             "static_order": self.static_order,
             "estimated_peak_bytes": self.estimated_peak_bytes,
             "process_tasks": self.process_tasks,
@@ -250,6 +272,14 @@ class ExecutionStats:
             )
         if self.broadcast_joins:
             lines.append(f"broadcast joins: {self.broadcast_joins}")
+        if (self.bytes_read or self.ranges_prefetched
+                or self.prefetch_hits or self.io_retries):
+            lines.append(
+                f"io: {self.bytes_read}B read, "
+                f"{self.ranges_prefetched} ranges prefetched, "
+                f"{self.prefetch_hits} prefetch hits, "
+                f"{self.io_retries} retries"
+            )
         if self.estimated_peak_bytes is not None:
             lines.append(
                 f"estimated peak live bytes: {self.estimated_peak_bytes}"

@@ -57,6 +57,7 @@ class ThreadedScheduler(Scheduler):
     """Ready-queue scheduler over a thread pool."""
 
     name = "threaded"
+    prefetches_ranges = True
 
     def __init__(self, backend, *, session=None, memory=None,
                  max_workers=None, static_order=True):

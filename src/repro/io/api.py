@@ -124,6 +124,25 @@ def scan_dataset(
     )
 
 
+def scan_columnar(
+    path: str,
+    usecols: Optional[Sequence[str]] = None,
+    parse_dates: Optional[Sequence[str]] = None,
+    index_col: Optional[str] = None,
+) -> LazyFrame:
+    """Lazy scan of a columnar (``.lfc``) file, local or remote URL.
+
+    Dtypes come from the footer, so there is no ``dtype`` surface --
+    the file already knows.  ``parse_dates`` converts string columns
+    that were *written* as strings (e.g. from a CSV round-trip) into
+    datetimes, matching ``read_csv`` semantics.
+    """
+    return scan_source(
+        "columnar", path, usecols=usecols, index_col=index_col,
+        parse_dates=list(parse_dates) if parse_dates else None,
+    )
+
+
 def from_pandas(frame) -> LazyFrame:
     """Wrap an eager frame into the lazy graph.
 
@@ -141,9 +160,10 @@ def sibling_variant(csv_path: str, fmt: str) -> Optional[str]:
     """The on-disk variant of ``csv_path`` in another physical format.
 
     The naming convention shared with the workload generator: ``x.csv``
-    has a JSONL sibling ``x.jsonl`` and a hive-partitioned sibling
-    directory ``x_hive/``.  Returns ``None`` when the variant does not
-    exist (callers fall back to the CSV).
+    has a JSONL sibling ``x.jsonl``, a hive-partitioned sibling
+    directory ``x_hive/``, and a columnar sibling ``x.lfc``.  Returns
+    ``None`` when the variant does not exist (callers fall back to the
+    CSV).
     """
     stem, ext = os.path.splitext(csv_path)
     if ext != ".csv":
@@ -154,12 +174,16 @@ def sibling_variant(csv_path: str, fmt: str) -> Optional[str]:
     if fmt == "dataset":
         candidate = stem + "_hive"
         return candidate if os.path.isdir(candidate) else None
+    if fmt == "columnar":
+        candidate = stem + ".lfc"
+        return candidate if os.path.isfile(candidate) else None
     return None
 
 
 __all__ = [
     "DEFAULT_SOURCES",
     "from_pandas",
+    "scan_columnar",
     "scan_csv",
     "scan_dataset",
     "scan_jsonl",

@@ -12,7 +12,9 @@ every row on read.  That makes predicates over partition keys *exactly*
 prunable (no statistics needed), while predicates over payload columns
 prune through the metastore's per-file min/max (trusted only when the
 file's metadata was computed unsampled -- sampled extrema are not
-proof).
+proof).  Leaves whose metadata carries per-byte-range partition stats
+split further into one partition per range, so pruning can skip a
+*slice* of a leaf file and the reader fetches only that byte range.
 
 Leaves may be CSV or JSONL; :func:`write_dataset` produces the layout
 from an eager frame (the datagen "partitioned variant" path).
@@ -147,19 +149,37 @@ class DatasetSource(DataSource):
     def partitions(self) -> List[Partition]:
         if self._parts is not None:
             return self._parts
-        parts = []
-        for index, leaf in enumerate(self.leaves()):
+        parts: List[Partition] = []
+        for leaf in self.leaves():
+            meta = self.metastore.get(leaf["path"]) if self.metastore else None
+            ranges = getattr(meta, "partitions", None) if meta else None
+            if ranges:
+                # Sub-file chunk stats (metadata computed with
+                # ``partition_ranges``): one partition per byte range,
+                # so payload-column pruning can discard a *slice* of a
+                # leaf the per-file extrema could never rule out.
+                for ps in ranges:
+                    parts.append(Partition(
+                        len(parts), leaf["path"],
+                        byte_range=(ps.start, ps.end),
+                        key_values=dict(leaf["key_values"]),
+                        est_rows=ps.n_rows,
+                        est_bytes=ps.n_bytes,
+                        min_values=dict(ps.min_values),
+                        max_values=dict(ps.max_values),
+                    ))
+                continue
             part = Partition(
-                index, leaf["path"], key_values=dict(leaf["key_values"]),
+                len(parts), leaf["path"],
+                key_values=dict(leaf["key_values"]),
                 est_bytes=os.path.getsize(leaf["path"]),
             )
-            self._attach_leaf_stats(part)
+            self._attach_leaf_stats(part, meta)
             parts.append(part)
         self._parts = parts
         return parts
 
-    def _attach_leaf_stats(self, part: Partition) -> None:
-        meta = self.metastore.get(part.path) if self.metastore else None
+    def _attach_leaf_stats(self, part: Partition, meta) -> None:
         if meta is None:
             return
         part.est_rows = meta.n_rows
@@ -184,6 +204,7 @@ class DatasetSource(DataSource):
             frame = read_jsonl(
                 partition.path,
                 columns=leaf_cols,
+                byte_range=partition.byte_range,
                 parse_dates=self.options.get("parse_dates"),
                 dtype=self.options.get("dtype"),
             )
@@ -191,6 +212,7 @@ class DatasetSource(DataSource):
             frame = read_csv(
                 partition.path,
                 usecols=leaf_cols,
+                byte_range=partition.byte_range,
                 dtype=self.options.get("dtype"),
                 parse_dates=self.options.get("parse_dates"),
             )

@@ -18,6 +18,20 @@ understand: a conjunction of simple per-column comparisons that
 converts a filter's mask subgraph into conjuncts when -- and only when --
 the whole mask is expressible, so folding a filter into a scan never
 changes its semantics.
+
+Beyond the flat AND, two *nested* term shapes compose (serialized as
+plain dicts like everything else)::
+
+    {"op": "or",  "terms": [[conj, ...], [conj, ...]]}   # OR of ANDs
+    {"op": "not", "term": [conj, ...]}                   # NOT of an AND
+
+Statistics evaluation over them is **three-valued**: a term proves
+``False`` (no row can match), ``True`` (every row matches -- what NOT
+needs to prune), or ``None`` (unknown, never prune).  Proofs are
+null-aware where it matters: ``!=`` matches NA rows, so its
+cannot-match proof consults the partition's ``null_counts`` when the
+source recorded them (columnar footers do; sampled text stats keep the
+legacy min/max-only behaviour).
 """
 
 from __future__ import annotations
@@ -55,7 +69,10 @@ class Predicate:
         return [dict(c) for c in self.conjuncts]
 
     def columns(self) -> Set[str]:
-        return {c["column"] for c in self.conjuncts}
+        out: Set[str] = set()
+        for conj in self.conjuncts:
+            out |= _term_columns(conj)
+        return out
 
     # -- frame evaluation -------------------------------------------------
 
@@ -64,7 +81,7 @@ class Predicate:
         conjunct."""
         combined = None
         for conj in self.conjuncts:
-            part = _conjunct_mask(frame[conj["column"]], conj)
+            part = _term_mask(frame, conj)
             combined = part if combined is None else (combined & part)
         return combined
 
@@ -79,19 +96,11 @@ class Predicate:
     def may_match(self, partition) -> bool:
         """False only when the partition *provably* contains no matching
         row: every row fails some conjunct given the partition's exact
-        hive key values or exact column min/max.  Missing statistics
-        always answer True (never prune on a guess)."""
+        hive key values or exact column min/max (and ``null_counts``
+        where the source recorded them).  Missing statistics always
+        answer True (never prune on a guess)."""
         for conj in self.conjuncts:
-            column = conj["column"]
-            if column in partition.key_values:
-                if not _scalar_matches(partition.key_values[column], conj):
-                    return False
-                continue
-            lo = partition.min_values.get(column)
-            hi = partition.max_values.get(column)
-            if lo is None or hi is None:
-                continue
-            if not _range_may_match(lo, hi, conj):
+            if _prove(conj, partition) is False:
                 return False
         return True
 
@@ -99,20 +108,68 @@ class Predicate:
 
     def render(self) -> str:
         """Compact text for ``explain()``: ``(fare>0 & state=='CA')``."""
-        parts = []
-        for conj in self.conjuncts:
-            op = conj["op"]
-            col = conj["column"]
-            if op == "between":
-                parts.append(f"{conj['low']!r}<={col}<={conj['high']!r}")
-            elif op == "isin":
-                parts.append(f"{col} in {list(conj['values'])!r}")
-            else:
-                parts.append(f"{col}{op}{conj['value']!r}")
-        return "(" + " & ".join(parts) + ")"
+        return "(" + " & ".join(
+            _render_term(c) for c in self.conjuncts
+        ) + ")"
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"<Predicate {self.render()}>"
+
+
+def _term_columns(term: dict) -> Set[str]:
+    op = term.get("op")
+    if op == "or":
+        out: Set[str] = set()
+        for group in term["terms"]:
+            for sub in group:
+                out |= _term_columns(sub)
+        return out
+    if op == "not":
+        out = set()
+        for sub in term["term"]:
+            out |= _term_columns(sub)
+        return out
+    return {term["column"]}
+
+
+def _render_term(term: dict) -> str:
+    op = term.get("op")
+    if op == "or":
+        groups = [
+            " & ".join(_render_term(sub) for sub in group)
+            for group in term["terms"]
+        ]
+        return "(" + " | ".join(f"({g})" for g in groups) + ")"
+    if op == "not":
+        inner = " & ".join(_render_term(sub) for sub in term["term"])
+        return f"~({inner})"
+    col = term["column"]
+    if op == "between":
+        return f"{term['low']!r}<={col}<={term['high']!r}"
+    if op == "isin":
+        return f"{col} in {list(term['values'])!r}"
+    return f"{col}{op}{term['value']!r}"
+
+
+def _term_mask(frame, term: dict):
+    op = term.get("op")
+    if op == "or":
+        combined = None
+        for group in term["terms"]:
+            part = _group_mask(frame, group)
+            combined = part if combined is None else (combined | part)
+        return combined
+    if op == "not":
+        return ~_group_mask(frame, term["term"])
+    return _conjunct_mask(frame[term["column"]], term)
+
+
+def _group_mask(frame, group: Sequence[dict]):
+    combined = None
+    for term in group:
+        part = _term_mask(frame, term)
+        combined = part if combined is None else (combined & part)
+    return combined
 
 
 def _conjunct_mask(series, conj: dict):
@@ -202,6 +259,134 @@ def _range_may_match(lo, hi, conj: dict) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Three-valued statistics proofs (partition pruning and chunk skipping).
+# ---------------------------------------------------------------------------
+
+
+def _prove(term: dict, partition) -> Optional[bool]:
+    """Prove a term over one partition's statistics.
+
+    ``False``: no row can match.  ``True``: every row matches.
+    ``None``: the statistics cannot decide.  Only ``False`` prunes
+    directly; ``True`` exists so NOT can flip it into a prune.
+    """
+    op = term.get("op")
+    if op == "or":
+        results = [_prove_group(group, partition) for group in term["terms"]]
+        if any(r is True for r in results):
+            return True
+        if results and all(r is False for r in results):
+            return False
+        return None
+    if op == "not":
+        inner = _prove_group(term["term"], partition)
+        if inner is None:
+            return None
+        return not inner
+    return _prove_leaf(term, partition)
+
+
+def _prove_group(group: Sequence[dict], partition) -> Optional[bool]:
+    """AND-combine term proofs (empty groups prove nothing)."""
+    if not group:
+        return None
+    results = [_prove(term, partition) for term in group]
+    if any(r is False for r in results):
+        return False
+    if all(r is True for r in results):
+        return True
+    return None
+
+
+def _prove_leaf(conj: dict, partition) -> Optional[bool]:
+    column = conj["column"]
+    if column in partition.key_values:
+        # a hive key is one exact non-null constant for every row, so
+        # the conjunct's truth value is the proof for the partition.
+        return _scalar_proof(partition.key_values[column], conj)
+    lo = partition.min_values.get(column)
+    hi = partition.max_values.get(column)
+    if lo is None or hi is None:
+        return None
+    nulls = getattr(partition, "null_counts", {}).get(column)
+    if not _range_may_match(lo, hi, conj):
+        # no non-null value can match.  NA rows still match ``!=`` (NaN
+        # != v is True), so that proof additionally needs a recorded
+        # null_count of zero; sources without null counts keep the
+        # legacy min/max-only prune.
+        if conj["op"] != "!=" or nulls is None or nulls == 0:
+            return False
+        return None
+    if _range_all_match(lo, hi, nulls, conj):
+        return True
+    return None
+
+
+def _scalar_proof(value, conj: dict) -> Optional[bool]:
+    """Three-valued :func:`_scalar_matches`: ``None`` on incomparable
+    types instead of the may-match default."""
+    op = conj["op"]
+    try:
+        if op == "between":
+            inclusive = conj.get("inclusive", "both")
+            low_ok = (value >= conj["low"]) if inclusive in ("both", "left") \
+                else (value > conj["low"])
+            high_ok = (value <= conj["high"]) if inclusive in ("both", "right") \
+                else (value < conj["high"])
+            return bool(low_ok and high_ok)
+        if op == "isin":
+            return value in set(conj["values"])
+        other = conj["value"]
+        return bool({
+            "<": value < other,
+            "<=": value <= other,
+            ">": value > other,
+            ">=": value >= other,
+            "==": value == other,
+            "!=": value != other,
+        }[op])
+    except TypeError:
+        return None
+
+
+def _range_all_match(lo, hi, nulls, conj: dict) -> bool:
+    """Does *every* row provably satisfy the conjunct?
+
+    Comparisons, ``==``, ``between`` and ``isin`` never match NA rows,
+    so their all-match proofs require a recorded null_count of zero;
+    ``!=`` matches NA, so proving the value lies outside ``[lo, hi]``
+    suffices regardless of nulls.
+    """
+    op = conj["op"]
+    no_nulls = nulls == 0
+    try:
+        if op == "!=":
+            value = conj["value"]
+            return bool(value < lo or value > hi)
+        if not no_nulls:
+            return False
+        if op == "between":
+            inclusive = conj.get("inclusive", "both")
+            low, high = conj["low"], conj["high"]
+            low_ok = lo >= low if inclusive in ("both", "left") else lo > low
+            high_ok = hi <= high if inclusive in ("both", "right") \
+                else hi < high
+            return bool(low_ok and high_ok)
+        if op == "isin":
+            return bool(lo == hi and lo in set(conj["values"]))
+        value = conj["value"]
+        return bool({
+            "<": hi < value,
+            "<=": hi <= value,
+            ">": lo > value,
+            ">=": lo >= value,
+            "==": lo == hi == value,
+        }[op])
+    except TypeError:
+        return False
+
+
+# ---------------------------------------------------------------------------
 # Mask-subgraph -> conjuncts conversion (used by the optimizer fold pass).
 # ---------------------------------------------------------------------------
 
@@ -226,6 +411,13 @@ def conjuncts_from_mask(mask, source, aliases=()) -> Optional[List[dict]]:
         return None
 
     def convert(node) -> Optional[List[dict]]:
+        if node.op == "unop" and node.args.get("op") == "~":
+            if len(node.inputs) != 1:
+                return None
+            inner = convert(node.inputs[0])
+            if inner is None:
+                return None
+            return [{"op": "not", "term": inner}]
         if node.op == "binop":
             op = node.args.get("op")
             if op == "&":
@@ -236,6 +428,14 @@ def conjuncts_from_mask(mask, source, aliases=()) -> Optional[List[dict]]:
                 if left is None or right is None:
                     return None
                 return left + right
+            if op == "|":
+                if len(node.inputs) != 2:
+                    return None
+                left = convert(node.inputs[0])
+                right = convert(node.inputs[1])
+                if left is None or right is None:
+                    return None
+                return [{"op": "or", "terms": [left, right]}]
             if op in _COMPARISONS:
                 if len(node.inputs) != 1 or "right" not in node.args:
                     return None  # series-vs-series: not foldable

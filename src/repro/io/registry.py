@@ -16,6 +16,7 @@ from __future__ import annotations
 import dataclasses
 from typing import Callable, Dict, Iterable, List, Optional
 
+from repro.io.columnar import ColumnarSource
 from repro.io.csv_source import CsvSource
 from repro.io.dataset import DatasetSource
 from repro.io.jsonl import JsonlSource
@@ -93,7 +94,7 @@ class SourceRegistry:
         return str(fmt).lower() in self._specs
 
 
-#: The stock registry with the three built-in formats.
+#: The stock registry with the four built-in formats.
 DEFAULT_SOURCES = SourceRegistry([
     SourceSpec.from_source(
         CsvSource, description="byte-range partitioned CSV file"
@@ -103,6 +104,11 @@ DEFAULT_SOURCES = SourceRegistry([
     ),
     SourceSpec.from_source(
         DatasetSource, description="hive-style key=value/ directory dataset"
+    ),
+    SourceSpec.from_source(
+        ColumnarSource,
+        description="row-group columnar file with per-chunk statistics "
+                    "(local or object-store URLs)",
     ),
 ])
 

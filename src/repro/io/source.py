@@ -54,6 +54,10 @@ class Partition:
     est_bytes: Optional[int] = None
     min_values: Dict[str, float] = dataclasses.field(default_factory=dict)
     max_values: Dict[str, float] = dataclasses.field(default_factory=dict)
+    #: exact per-column NA counts, where the source records them
+    #: (columnar footers, full-range text stats).  Consulted by the
+    #: null-aware ``!=`` proof; an absent column means "unknown".
+    null_counts: Dict[str, int] = dataclasses.field(default_factory=dict)
 
 
 class DataSource:

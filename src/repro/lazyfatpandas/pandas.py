@@ -5,7 +5,8 @@ Importing this module as ``pd`` gives the paper's API:
 - ``pd.read_csv`` and friends return :class:`~repro.core.LazyFrame`s that
   build the task graph instead of executing,
 - ``pd.scan_csv`` / ``pd.scan_jsonl`` / ``pd.scan_dataset`` /
-  ``pd.from_pandas`` are the unified source-layer ingress
+  ``pd.scan_columnar`` / ``pd.from_pandas`` are the unified
+  source-layer ingress
   (:mod:`repro.io`): LazyFrames rooted at generic ``scan`` nodes the
   optimizer folds projections and predicates *into*,
 - ``pd.analyze()`` triggers JIT static analysis of the calling program
@@ -57,6 +58,7 @@ from repro.frame.io_csv import read_header
 from repro.graph.node import Node
 from repro.io.api import (
     from_pandas,
+    scan_columnar,
     scan_csv,
     scan_dataset,
     scan_jsonl,
@@ -83,6 +85,7 @@ __all__ = [
     "options",
     "read_csv",
     "reset",
+    "scan_columnar",
     "scan_csv",
     "scan_dataset",
     "scan_jsonl",
@@ -320,7 +323,14 @@ def _reroute_by_source_format(
             parse_dates=parse_dates, nrows=nrows, index_col=index_col,
         )
     if nrows is not None:
-        return None  # a dataset scan has no row limit; stay on CSV
+        return None  # columnar/dataset scans have no row limit; stay on CSV
+    if fmt == "columnar":
+        if dtype is not None:
+            return None  # footer dtypes are authoritative; stay on CSV
+        return scan_columnar(
+            variant, usecols=usecols, parse_dates=parse_dates,
+            index_col=index_col,
+        )
     return scan_dataset(
         variant, usecols=usecols, dtype=dtype,
         parse_dates=parse_dates, index_col=index_col,

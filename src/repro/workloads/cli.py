@@ -50,6 +50,12 @@ def _cmd_run(args) -> int:
               f" {stats.get('cache_misses', 0)} misses,"
               f" {stats.get('cache_inserted', 0)} inserted,"
               f" {stats.get('cache_evictions', 0)} evictions")
+    if any(stats.get(k) for k in ("bytes_read", "ranges_prefetched",
+                                  "prefetch_hits", "io_retries")):
+        print(f"  io: {stats.get('bytes_read', 0)}B read,"
+              f" {stats.get('ranges_prefetched', 0)} ranges prefetched,"
+              f" {stats.get('prefetch_hits', 0)} prefetch hits,"
+              f" {stats.get('io_retries', 0)} retries")
     if args.stats:
         print(json.dumps(result.to_dict(), indent=2, default=str))
     if args.show_output:
@@ -138,7 +144,8 @@ def build_parser() -> argparse.ArgumentParser:
         help="executor.strategy for the cell (default: session default)",
     )
     run.add_argument(
-        "--source-format", choices=["csv", "jsonl", "dataset"], default=None,
+        "--source-format",
+        choices=["csv", "jsonl", "dataset", "columnar"], default=None,
         help="physical source format: generates the matching dataset "
              "variant and reroutes the program's reads through the scan "
              "source layer (lafp modes)",

@@ -17,7 +17,8 @@ by row count; the runner scales S : M : L as 1 : 3 : 9 like the paper's
 
 Every dataset can additionally be emitted as *source-format variants*
 next to its CSV (the runner's ``--source-format`` axis): a JSONL sibling
-(``taxi.jsonl``) and a hive-partitioned directory sibling
+(``taxi.jsonl``), a columnar sibling (``taxi.lfc``, per-chunk stats in
+its footer), and a hive-partitioned directory sibling
 (``taxi_hive/payment_type=1/part-0.csv`` ...) partitioned on the
 dataset's natural low-cardinality column (:data:`PARTITION_KEYS`).
 """
@@ -88,13 +89,17 @@ def generate_variant(name: str, directory: str, fmt: str) -> str:
     ``workload.source_format`` reroutes a program's reads.
     """
     from repro.frame.io_csv import read_csv
-    from repro.io import write_dataset, write_jsonl
+    from repro.io import write_columnar, write_dataset, write_jsonl
 
     csv_path = os.path.join(directory, f"{name}.csv")
     frame = read_csv(csv_path)
     if fmt == "jsonl":
         out = os.path.join(directory, f"{name}.jsonl")
         write_jsonl(frame, out)
+        return out
+    if fmt == "columnar":
+        out = os.path.join(directory, f"{name}.lfc")
+        write_columnar(frame, out)
         return out
     if fmt == "dataset":
         out = os.path.join(directory, f"{name}_hive")

@@ -296,8 +296,11 @@ class Runner:
 
         JSONL files get per-byte-range :class:`PartitionStats` over the
         exact ranges the source will scan; hive dataset leaves get
-        per-leaf metadata (unsampled, so leaf min/max count as pruning
-        proof for payload-column predicates)."""
+        per-byte-range stats too (each leaf split into at least two
+        ranges), so partition pruning can discard a *slice* of a leaf --
+        unsampled min/max is pruning proof either way.  Columnar files
+        carry their own per-chunk statistics in the footer, so the
+        metastore records nothing for them."""
         if fmt == "jsonl":
             from repro.io import JsonlSource
 
@@ -305,11 +308,20 @@ class Runner:
             self.metastore.compute_and_store(
                 path, sample_rows=None, fmt="jsonl", partition_ranges=ranges
             )
-        else:
+        elif fmt == "dataset":
+            from repro.frame.io_csv import scan_partitions
             from repro.io import DatasetSource
+            from repro.io.csv_source import DEFAULT_PARTITION_BYTES
 
-            for part in DatasetSource(path).partitions():
-                self.metastore.compute_and_store(part.path, sample_rows=None)
+            for leaf in DatasetSource(path).leaves():
+                leaf_path = leaf["path"]
+                n = max(2, os.path.getsize(leaf_path) // DEFAULT_PARTITION_BYTES)
+                ranges = [tuple(r) for r in scan_partitions(leaf_path, int(n))]
+                self.metastore.compute_and_store(
+                    leaf_path, sample_rows=None,
+                    partition_ranges=ranges or None,
+                )
+        # fmt == "columnar": the .lfc footer is the statistics store.
 
     def dataset_bytes(self, program: str, size: str) -> int:
         total = 0

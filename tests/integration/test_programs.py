@@ -128,7 +128,7 @@ class TestSourceFormats:
     """The --source-format axis: same program, different physical bytes,
     identical results -- with and without pushdown folding."""
 
-    @pytest.mark.parametrize("source_format", ["jsonl", "dataset"])
+    @pytest.mark.parametrize("source_format", ["jsonl", "dataset", "columnar"])
     @pytest.mark.parametrize("program", ["cty", "stu"])
     def test_variants_hash_identical_to_csv(
         self, runner, program, source_format
@@ -138,6 +138,46 @@ class TestSourceFormats:
                              source_format=source_format)
         assert baseline.ok and variant.ok, (baseline.error, variant.error)
         assert variant.source_format == source_format
+        assert variant.result_hash == baseline.result_hash
+
+    @pytest.mark.parametrize("program", ["cty", "nyt", "stu"])
+    def test_columnar_cold_and_warm_hash_identical_to_csv(
+        self, runner, program
+    ):
+        """The columnar variant through the result cache: the cold run
+        (footer reads + chunk fetches, cache inserts) and the warm run
+        (``from_cached`` substitution keyed on the footer's stat
+        signature) must both reproduce the CSV hash."""
+        baseline = runner.run(program, "lafp_pandas", "S")
+        assert baseline.ok, baseline.error
+        options = {"optimizer.reuse": True}
+        cold = runner.run(program, "lafp_pandas", "S",
+                          source_format="columnar", options=options)
+        warm = runner.run(program, "lafp_pandas", "S",
+                          source_format="columnar", options=options)
+        assert cold.ok and warm.ok, (cold.error, warm.error)
+        assert cold.result_hash == baseline.result_hash
+        assert warm.result_hash == baseline.result_hash
+
+    @pytest.mark.parametrize("program", ["cty", "stu"])
+    def test_columnar_pushdown_ablation_equivalence(self, runner, program):
+        folded = runner.run(program, "lafp_pandas", "S",
+                            source_format="columnar")
+        ablated = runner.run(
+            program, "lafp_pandas", "S", source_format="columnar",
+            options={
+                "optimizer.predicate_pushdown": False,
+                "optimizer.partition_pruning": False,
+            },
+        )
+        assert folded.ok and ablated.ok, (folded.error, ablated.error)
+        assert folded.result_hash == ablated.result_hash
+
+    def test_columnar_variant_on_dask_backend(self, runner):
+        baseline = runner.run("cty", "lafp_dask", "S")
+        variant = runner.run("cty", "lafp_dask", "S",
+                             source_format="columnar")
+        assert baseline.ok and variant.ok, (baseline.error, variant.error)
         assert variant.result_hash == baseline.result_hash
 
     @pytest.mark.parametrize("program", ["cty", "nyt", "stu"])

@@ -133,6 +133,12 @@ def _write_table(data, directory, name, fmt):
     path = os.path.join(directory, f"{name}.{fmt}")
     if fmt == "csv":
         DataFrame(data).to_csv(path)
+    elif fmt == "lfc":
+        from repro.io import write_columnar
+
+        # tiny row groups: multi-chunk files even at fuzz sizes, so the
+        # chunk-skip and per-group byte-range paths actually exercise
+        write_columnar(DataFrame(data), path, row_group_rows=8)
     else:
         keys = list(data)
         with open(path, "w") as handle:
@@ -141,9 +147,19 @@ def _write_table(data, directory, name, fmt):
     return path
 
 
-def _build(plan, fmt, left_path, right_path, partition_bytes=512):
+def _scan(fmt, path, partition_bytes):
+    if fmt == "columnar":
+        return lfp.scan_columnar(path)  # chunking comes from the footer
     scan = lfp.scan_csv if fmt == "csv" else lfp.scan_jsonl
-    frame = scan(left_path, partition_bytes=partition_bytes)
+    return scan(path, partition_bytes=partition_bytes)
+
+
+def _table_ext(fmt):
+    return {"csv": "csv", "jsonl": "jsonl", "columnar": "lfc"}[fmt]
+
+
+def _build(plan, fmt, left_path, right_path, partition_bytes=512):
+    frame = _scan(fmt, left_path, partition_bytes)
     steps, terminal = plan
     for step in steps:
         if step[0] == "filter":
@@ -168,7 +184,7 @@ def _build(plan, fmt, left_path, right_path, partition_bytes=512):
     if terminal[0] == "groupby":
         return frame.groupby(["k"])[terminal[1]].agg(terminal[2])
     if terminal[0] == "merge":
-        right = scan(right_path, partition_bytes=256)
+        right = _scan(fmt, right_path, 256)
         return frame.merge(right, on="k", how="inner")
     return frame
 
@@ -246,14 +262,15 @@ def _fresh_dir(tmp_path_factory):
 
 class TestStrategyEquivalence:
     @given(data=tables(), right=right_tables(), plan=plans(),
-           fmt=st.sampled_from(["csv", "jsonl"]))
+           fmt=st.sampled_from(["csv", "jsonl", "columnar"]))
     @settings(max_examples=12, deadline=None)
     def test_random_plans_identical_across_grid(
         self, tmp_path_factory, data, right, plan, fmt
     ):
         tmp_dir = _fresh_dir(tmp_path_factory)
-        left_path = _write_table(data, tmp_dir, "left", fmt)
-        right_path = _write_table(right, tmp_dir, "right", fmt)
+        ext = _table_ext(fmt)
+        left_path = _write_table(data, tmp_dir, "left", ext)
+        right_path = _write_table(right, tmp_dir, "right", ext)
         _collect_grid(plan, fmt, left_path, right_path, {}, tmp_dir)
 
     @given(data=tables(), right=right_tables(),
@@ -273,7 +290,7 @@ class TestStrategyEquivalence:
         )
 
     @given(data=tables(), right=right_tables(), plan=plans(),
-           fmt=st.sampled_from(["csv", "jsonl"]))
+           fmt=st.sampled_from(["csv", "jsonl", "columnar"]))
     @settings(max_examples=8, deadline=None)
     def test_cache_warm_and_cold_identical_across_grid(
         self, tmp_path_factory, data, right, plan, fmt
@@ -288,8 +305,9 @@ class TestStrategyEquivalence:
         from repro.cache.result_cache import result_cache
 
         tmp_dir = _fresh_dir(tmp_path_factory)
-        left_path = _write_table(data, tmp_dir, "left", fmt)
-        right_path = _write_table(right, tmp_dir, "right", fmt)
+        ext = _table_ext(fmt)
+        left_path = _write_table(data, tmp_dir, "left", ext)
+        right_path = _write_table(right, tmp_dir, "right", ext)
         for backend in BACKENDS:
             result_cache().clear()
             with Session(backend=backend,

@@ -294,6 +294,89 @@ class TestPredicate:
         assert not Predicate([{"column": "x", "op": "!=", "value": 5}]
                              ).may_match(part)
 
+    def test_or_term_prunes_only_when_every_branch_fails(self):
+        part = Partition(0, "p", min_values={"x": 10}, max_values={"x": 20})
+        both_miss = Predicate([{
+            "op": "or",
+            "terms": [[{"column": "x", "op": "<", "value": 5}],
+                      [{"column": "x", "op": ">", "value": 50}]],
+        }])
+        assert not both_miss.may_match(part)
+        one_hits = Predicate([{
+            "op": "or",
+            "terms": [[{"column": "x", "op": "<", "value": 5}],
+                      [{"column": "x", "op": ">=", "value": 15}]],
+        }])
+        assert one_hits.may_match(part)
+
+    def test_not_term_prunes_via_all_match_proof(self):
+        # every row has x in [10, 20], so ~(x >= 5) provably matches none
+        part = Partition(0, "p", min_values={"x": 10}, max_values={"x": 20},
+                         null_counts={"x": 0})
+        proven_full = Predicate([{
+            "op": "not",
+            "term": [{"column": "x", "op": ">=", "value": 5}],
+        }])
+        assert not proven_full.may_match(part)
+        undecidable = Predicate([{
+            "op": "not",
+            "term": [{"column": "x", "op": ">=", "value": 15}],
+        }])
+        assert undecidable.may_match(part)
+
+    def test_not_all_match_proof_needs_zero_nulls(self):
+        # NA rows fail ``x >= 5``, so they *survive* its negation: with a
+        # recorded nonzero null_count the NOT prune must not fire.
+        part = Partition(0, "p", min_values={"x": 10}, max_values={"x": 20},
+                         null_counts={"x": 3})
+        predicate = Predicate([{
+            "op": "not",
+            "term": [{"column": "x", "op": ">=", "value": 5}],
+        }])
+        assert predicate.may_match(part)
+
+    def test_null_aware_not_equal_prune(self):
+        conj = [{"column": "x", "op": "!=", "value": 5}]
+        # NaN != 5 is True, so a chunk of all-5s with recorded nulls
+        # still has matching rows; only null_count == 0 proves the prune.
+        no_nulls = Partition(0, "p", min_values={"x": 5}, max_values={"x": 5},
+                             null_counts={"x": 0})
+        assert not Predicate(conj).may_match(no_nulls)
+        with_nulls = Partition(0, "p", min_values={"x": 5},
+                               max_values={"x": 5}, null_counts={"x": 2})
+        assert Predicate(conj).may_match(with_nulls)
+        # sources that never recorded null counts keep the legacy prune
+        legacy = Partition(0, "p", min_values={"x": 5}, max_values={"x": 5})
+        assert not Predicate(conj).may_match(legacy)
+
+    def test_nested_or_with_hive_keys(self):
+        part = Partition(0, "p", key_values={"year": 2022},
+                         min_values={"v": 0}, max_values={"v": 9})
+        predicate = Predicate([{
+            "op": "or",
+            "terms": [
+                [{"column": "year", "op": "==", "value": 2021},
+                 {"column": "v", "op": "<", "value": 100}],
+                [{"column": "v", "op": ">", "value": 50}],
+            ],
+        }])
+        assert not predicate.may_match(part)
+
+    def test_or_filter_matches_proof_semantics(self):
+        frame = DataFrame({"x": np.arange(10)})
+        predicate = Predicate([{
+            "op": "or",
+            "terms": [[{"column": "x", "op": "<", "value": 2}],
+                      [{"column": "x", "op": ">=", "value": 8}]],
+        }])
+        out = predicate.filter(frame)
+        assert out.column("x").to_array().tolist() == [0, 1, 8, 9]
+        negated = Predicate([{
+            "op": "not",
+            "term": [{"column": "x", "op": "<", "value": 7}],
+        }])
+        assert negated.filter(frame).column("x").to_array().tolist() == [7, 8, 9]
+
 
 # ---------------------------------------------------------------------------
 # Optimizer folding: pushdown terminates inside the scan node.
@@ -336,18 +419,28 @@ class TestPushdownFolding:
         assert "columns=['b']" in optimized
         assert "filter" not in optimized
 
-    def test_or_mask_is_not_folded(self, make_csv):
-        """Disjunctions are inexpressible as conjuncts: the filter must
-        stay in the graph and still produce the right answer."""
+    def test_or_mask_folds_into_scan(self, make_csv):
+        """Disjunctions fold as nested ``or`` terms: the predicate moves
+        into the scan and still produces the right answer."""
         path = make_csv({"a": np.arange(20)})
         with Session(backend="pandas"):
             lf = lfp.scan_csv(path)
             out = lf[(lf["a"] < 3) | (lf["a"] > 16)]
             optimized = out.explain().split("== optimized plan ==")[1]
             frame = out.collect()
-        assert "filter" in optimized
-        assert "predicate" not in optimized
+        assert "filter" not in optimized
+        assert "predicate" in optimized
         assert frame.column("a").to_array().tolist() == [0, 1, 2, 17, 18, 19]
+
+    def test_negation_folds_into_scan(self, make_csv):
+        path = make_csv({"a": np.arange(10)})
+        with Session(backend="pandas"):
+            lf = lfp.scan_csv(path)
+            out = lf[~(lf["a"] < 7)]
+            optimized = out.explain().split("== optimized plan ==")[1]
+            frame = out.collect()
+        assert "predicate" in optimized
+        assert frame.column("a").to_array().tolist() == [7, 8, 9]
 
     def test_shared_scan_not_folded(self, make_csv):
         """A scan with a second (unfiltered) consumer must keep its
@@ -416,6 +509,36 @@ class TestPartitionPruning:
         assert stats.partitions_read == 1
         assert stats.partitions_total == 4
         assert got.column("v").to_array().tolist() == list(range(18, 24))
+
+    def test_dataset_leaves_split_into_byte_range_partitions(
+        self, hive_root, metastore
+    ):
+        """Per-byte-range stats on hive leaves turn each leaf into
+        several prunable pieces: a payload predicate then prunes at
+        sub-file granularity, not just whole leaves."""
+        from repro.frame.io_csv import scan_partitions
+
+        source = DatasetSource(hive_root)
+        for leaf in source.leaves():
+            ranges = [tuple(r) for r in scan_partitions(leaf["path"], 2)]
+            metastore.compute_and_store(
+                leaf["path"], sample_rows=None, partition_ranges=ranges
+            )
+
+        with Session(backend="pandas") as session:
+            session.metastore = metastore
+            lf = lfp.scan_dataset(hive_root)
+            pruned = lf[lf["v"] >= 15].collect()
+            stats = session.last_execution_stats
+        # 4 leaves x 2 ranges; v >= 15 spans the back half of year=2022
+        # plus all of year=2023 -- 3 of 8 pieces, where whole-leaf
+        # pruning could do no better than 2 of 4 leaves.
+        assert stats.partitions_total == 8
+        assert stats.partitions_read == 3
+        assert pruned.column("v").to_array().tolist() == list(range(15, 24))
+        # sub-file partitions still carry their hive keys
+        assert pruned.column("year").to_array().tolist() == \
+            [2022] * 3 + [2023] * 6
 
     def test_csv_byte_range_pruning_via_partition_stats(
         self, make_csv, metastore

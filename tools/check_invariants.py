@@ -91,6 +91,9 @@ MUTABLE_GLOBAL_ALLOWLIST = {
     ("graph/node.py", "OPS"),
     ("graph/node.py", "_ELEMENTWISE_SERIES_OPS"),
     ("graph/scheduler/estimates.py", "_DTYPE_WIDTHS"),
+    ("io/columnar.py", "_FOOTER_CACHE"),
+    ("io/fs.py", "_FILESYSTEMS"),
+    ("io/fs.py", "_CODECS"),
     ("io/predicate.py", "_COMPARISONS"),
     ("io/predicate.py", "_FLIPPED"),
     ("lazyfatpandas/pandas.py", "_SYNCED_MODULES"),
